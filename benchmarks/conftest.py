@@ -1,0 +1,106 @@
+"""Shared machinery for the paper-reproduction benchmarks.
+
+Each benchmark file regenerates one table or figure from the paper's
+evaluation: it runs the calibrated experiment configurations from
+``repro.bench.paperconfig``, prints the same rows/series the paper
+reports (paper value alongside measured value), and asserts the *shape*
+— who wins and roughly where — rather than absolute numbers, since the
+substrate is a simulator rather than the authors' testbed.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Results are cached
+per session so that several benchmarks sharing a configuration (e.g.
+the FCFS baseline) pay for it once.
+"""
+
+import enum
+
+import pytest
+
+from repro.bench.runner import run_experiment
+
+
+_CACHE = {}
+
+
+def cached_run(config):
+    """Run an ExperimentConfig once per session (keyed by its fields)."""
+    key = _config_key(config)
+    if key not in _CACHE:
+        _CACHE[key] = run_experiment(config)
+    return _CACHE[key]
+
+
+def _stable(value):
+    """A content-based (never identity-based) key for config values.
+
+    ``repr`` of a plain object embeds its memory address, and addresses
+    get reused — two *different* configs must never collide.
+    """
+    if isinstance(value, (str, int, float, bool, type(None))):
+        return value
+    if isinstance(value, enum.Enum):
+        return (type(value).__name__, value.value)
+    if isinstance(value, (list, tuple)):
+        return tuple(_stable(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(_stable(v) for v in value))
+    if isinstance(value, dict):
+        return tuple(sorted((k, _stable(v)) for k, v in value.items()))
+    if hasattr(value, "__dict__"):
+        return (
+            type(value).__name__,
+            tuple(sorted((k, _stable(v)) for k, v in vars(value).items())),
+        )
+    return repr(value)
+
+
+def _config_key(config):
+    return (
+        config.engine,
+        config.workload,
+        _stable(config.workload_kwargs),
+        _stable(config.engine_config),
+        config.seed,
+        config.n_txns,
+        config.rate_tps,
+        config.warmup_fraction,
+        tuple(sorted(config.instrumented)),
+        config.probe_cost,
+    )
+
+
+def median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def median_ratios(pairs):
+    """Median of per-seed {mean, variance, p99} ratio dicts."""
+    return {
+        key: median([r[key] for r in pairs]) for key in ("mean", "variance", "p99")
+    }
+
+
+def print_paper_row(label, measured, paper, unit="x"):
+    """One comparison line: measured vs the paper's reported value."""
+    print(
+        "  %-28s measured mean=%.2f%s var=%.2f%s p99=%.2f%s   (paper: %s)"
+        % (
+            label,
+            measured["mean"],
+            unit,
+            measured["variance"],
+            unit,
+            measured["p99"],
+            unit,
+            paper,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def run_cached():
+    return cached_run

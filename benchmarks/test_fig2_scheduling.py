@@ -1,0 +1,65 @@
+"""Figure 2 — effect of the scheduling algorithm on MySQL (TPC-C).
+
+Paper: replacing FCFS with VATS gives ratios (FCFS/alg) of 6.3x mean,
+5.6x variance, 2.0x p99; RS lands between FCFS and VATS on TPC-C (and
+is catastrophically worse on SEATS — see the SEATS assertion below).
+
+Expected shape: VATS >= FCFS on all three metrics; RS does not beat
+VATS; on SEATS RS is clearly the worst choice.
+"""
+
+from benchmarks.conftest import cached_run, median_ratios, print_paper_row
+from repro.bench import paperconfig as pc
+from repro.bench.compare import ratios
+
+
+def scheduler_ratios(scheduler, seeds=pc.SEEDS, workload="tpcc"):
+    n_txns = pc.N_TXNS_SCHED if workload == "tpcc" else pc.N_TXNS
+    rows = []
+    for seed in seeds:
+        fcfs = cached_run(
+            pc.mysql_workload_experiment(workload, "FCFS", seed=seed, n_txns=n_txns)
+        )
+        alg = cached_run(
+            pc.mysql_workload_experiment(workload, scheduler, seed=seed, n_txns=n_txns)
+        )
+        rows.append(ratios(fcfs.latencies, alg.latencies))
+    return median_ratios(rows)
+
+
+def test_fig2_vats_vs_fcfs(benchmark):
+    measured = benchmark.pedantic(
+        lambda: scheduler_ratios("VATS"), rounds=1, iterations=1
+    )
+    print()
+    print_paper_row("FCFS/VATS (TPC-C)", measured, "mean 6.3x var 5.6x p99 2.0x")
+    assert measured["mean"] > 1.0
+    assert measured["variance"] > 1.15
+    assert measured["p99"] > 1.0
+
+
+def test_fig2_rs_vs_fcfs(benchmark):
+    measured = benchmark.pedantic(
+        lambda: scheduler_ratios("RS"), rounds=1, iterations=1
+    )
+    print()
+    print_paper_row("FCFS/RS (TPC-C)", measured, "between FCFS and VATS")
+    # RS must not beat VATS.
+    vats = scheduler_ratios("VATS")
+    assert measured["variance"] <= vats["variance"] * 1.1
+
+
+def test_fig2_rs_pathological_on_seats(benchmark):
+    """Paper: 'For SEATS, RS performs about 2 orders of magnitude worse
+    than other algorithms.'  Shape: RS is the worst scheduler on SEATS."""
+
+    def run():
+        rs = scheduler_ratios("RS", seeds=pc.SEEDS[:2], workload="seats")
+        vats = scheduler_ratios("VATS", seeds=pc.SEEDS[:2], workload="seats")
+        return rs, vats
+
+    rs, vats = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print_paper_row("FCFS/RS (SEATS)", rs, "RS much worse than others")
+    print_paper_row("FCFS/VATS (SEATS)", vats, "mean 1.1x var 1.3x p99 1.1x")
+    assert rs["variance"] <= vats["variance"]

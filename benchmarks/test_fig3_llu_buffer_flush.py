@@ -1,0 +1,107 @@
+"""Figure 3 — LLU (left), buffer-pool size (center), flush policy (right).
+
+Paper:
+- LLU on the memory-contended 2-WH config: 1.1x mean, 1.6x variance,
+  1.4x p99 lower than the original mutex.
+- Buffer pool at 33/66/100% of the database: bigger pool = lower mean,
+  variance and p99 (monotone improvement).
+- Flush policy: lazy flush and lazy write both beat eager flush on all
+  three metrics; lazy write (everything deferred) is the most
+  predictable.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_run, median_ratios, print_paper_row
+from repro.bench import paperconfig as pc
+from repro.bench.compare import ratios
+from repro.wal.mysql_log import FlushPolicy
+
+SEEDS = pc.SEEDS[:2]
+
+
+def test_fig3_left_lazy_lru_update(benchmark):
+    def run():
+        rows = []
+        for seed in SEEDS:
+            base = cached_run(pc.mysql_2wh_experiment(lazy_lru=False, seed=seed))
+            llu = cached_run(pc.mysql_2wh_experiment(lazy_lru=True, seed=seed))
+            rows.append(ratios(base.latencies, llu.latencies))
+        return median_ratios(rows)
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print_paper_row("Original/LLU (2-WH)", measured, "mean 1.1x var 1.6x p99 1.4x")
+    assert measured["mean"] > 1.0
+    assert measured["variance"] > 1.1
+    assert measured["p99"] > 1.0
+
+
+def test_fig3_center_buffer_pool_size(benchmark):
+    """Sweep pool capacity as a fraction of the database; report ratios
+    of the 33% baseline over each size (paper's Figure 3 center)."""
+
+    def run():
+        results = {}
+        for label, fraction in (("33%", 0.33), ("66%", 0.66), ("100%", 1.2)):
+            results[label] = cached_run(
+                pc.mysql_2wh_experiment(buffer_fraction=fraction, seed=pc.SEEDS[0])
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = results["33%"]
+    print()
+    for label in ("66%", "100%"):
+        measured = ratios(base.latencies, results[label].latencies)
+        print_paper_row(
+            "33%% / %s pool" % label, measured, "bigger pool strictly better"
+        )
+    small = base.summary
+    medium = results["66%"].summary
+    large = results["100%"].summary
+    # Monotone improvement with pool size, on mean and variance.
+    assert small.mean >= medium.mean >= large.mean * 0.98
+    assert small.variance >= large.variance
+    # And the mechanism: fewer evictions with more memory.
+    assert (
+        results["33%"].engine.pool.evictions
+        > results["66%"].engine.pool.evictions
+        > results["100%"].engine.pool.evictions
+    )
+
+
+def test_fig3_right_flush_policy(benchmark):
+    """Eager flush vs lazy flush vs lazy write (ratios eager/policy)."""
+
+    def run():
+        out = {}
+        for label, policy in (
+            ("eager", FlushPolicy.EAGER_FLUSH),
+            ("lazy_flush", FlushPolicy.LAZY_FLUSH),
+            ("lazy_write", FlushPolicy.LAZY_WRITE),
+        ):
+            rows = []
+            for seed in SEEDS:
+                out.setdefault("eager_runs", {})
+                base = cached_run(
+                    pc.mysql_128wh_experiment(
+                        "VATS", seed=seed, flush_policy=FlushPolicy.EAGER_FLUSH
+                    )
+                )
+                cand = cached_run(
+                    pc.mysql_128wh_experiment("VATS", seed=seed, flush_policy=policy)
+                )
+                rows.append(ratios(base.latencies, cand.latencies))
+            out[label] = median_ratios(rows)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print_paper_row("Eager/LazyFlush", out["lazy_flush"], "all ratios > 1")
+    print_paper_row("Eager/LazyWrite", out["lazy_write"], "most predictable")
+    for label in ("lazy_flush", "lazy_write"):
+        assert out[label]["mean"] > 1.0
+        assert out[label]["variance"] > 1.0
+    # Deferring both steps is at least as good as deferring only flush.
+    assert out["lazy_write"]["variance"] >= out["lazy_flush"]["variance"] * 0.9

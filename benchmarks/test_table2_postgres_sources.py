@@ -1,0 +1,40 @@
+"""Table 2 — key sources of latency variance in Postgres.
+
+Paper (TPC-C, 32 warehouses, 30 GB buffer pool):
+
+    LWLockAcquireOrWait       76.8%
+    ReleasePredicateLocks      6%
+
+Expected shape: the wait for the global WALWriteLock dominates overall
+variance by a wide margin; predicate-lock release is a small secondary
+factor.
+"""
+
+from repro.bench import paperconfig as pc
+from repro.bench.profiled import EngineProfiledSystem
+from repro.core.profiler import TProfiler
+from repro.core.report import render_profile
+
+
+def test_table2_postgres_variance_sources(benchmark):
+    def run():
+        system = EngineProfiledSystem(pc.postgres_experiment(n_txns=2500))
+        return TProfiler(system, k=5, max_iterations=8).profile()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    shares = result.tree.name_shares()
+    print()
+    print(render_profile(result, top=8, config_label="32-WH"))
+    print(
+        "  LWLockAcquireOrWait: measured %.1f%% (paper: 76.8%%)"
+        % (100.0 * shares.get("LWLockAcquireOrWait", 0.0))
+    )
+    print(
+        "  ReleasePredicateLocks: measured %.1f%% (paper: 6%%)"
+        % (100.0 * shares.get("ReleasePredicateLocks", 0.0))
+    )
+    lwlock = shares.get("LWLockAcquireOrWait", 0.0)
+    predicate = shares.get("ReleasePredicateLocks", 0.0)
+    assert lwlock > 0.4  # dominant
+    assert predicate < 0.2  # small secondary factor
+    assert lwlock > 3.0 * predicate

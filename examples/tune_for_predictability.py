@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Variance-aware tuning (Section 6.3 / Appendix B), end to end.
+
+For each engine, sweep the tuning parameter TProfiler's findings point
+at and report how mean / variance / p99 respond:
+
+- MySQL: buffer-pool size (33/66/100% of the database) and the redo
+  flush policy (eager flush / lazy flush / lazy write);
+- Postgres: the WAL block size (8K default -> 64K);
+- VoltDB: the number of worker threads (2 default -> 24).
+
+Usage::
+
+    python examples/tune_for_predictability.py [mysql|postgres|voltdb|all]
+"""
+
+import sys
+
+from repro import ratios
+from repro.bench import paperconfig
+from repro.bench.runner import run_experiment
+from repro.wal.mysql_log import FlushPolicy
+
+N = 3000
+
+
+def show(label, base, candidate):
+    r = ratios(base.latencies, candidate.latencies)
+    print(
+        "  %-26s mean %.2fx  variance %.2fx  p99 %.2fx"
+        % (label, r["mean"], r["variance"], r["p99"])
+    )
+
+
+def tune_mysql():
+    print("MySQL: buffer pool size (ratios vs 33% pool; Figure 3 center)")
+    base = run_experiment(
+        paperconfig.mysql_2wh_experiment(buffer_fraction=0.33, n_txns=N)
+    )
+    for label, fraction in (("66% pool", 0.66), ("100% pool", 1.2)):
+        candidate = run_experiment(
+            paperconfig.mysql_2wh_experiment(buffer_fraction=fraction, n_txns=N)
+        )
+        show(label, base, candidate)
+
+    print("MySQL: redo flush policy (ratios vs eager flush; Figure 3 right)")
+    eager = run_experiment(paperconfig.mysql_128wh_experiment("VATS", n_txns=N))
+    for label, policy in (
+        ("lazy flush", FlushPolicy.LAZY_FLUSH),
+        ("lazy write", FlushPolicy.LAZY_WRITE),
+    ):
+        candidate = run_experiment(
+            paperconfig.mysql_128wh_experiment("VATS", n_txns=N, flush_policy=policy)
+        )
+        show(label, eager, candidate)
+        lost = candidate.engine.redo.lost_on_crash()
+        print(
+            "    (durability cost: %d commits exposed to a crash right now)"
+            % len(lost)
+        )
+
+
+def tune_postgres():
+    print("Postgres: WAL block size (ratios vs 4K; Figure 4 right)")
+    base = run_experiment(paperconfig.postgres_experiment(block_size=4096, n_txns=N))
+    for size in (8192, 16384, 32768, 65536):
+        candidate = run_experiment(
+            paperconfig.postgres_experiment(block_size=size, n_txns=N)
+        )
+        show("%dK blocks" % (size // 1024), base, candidate)
+
+
+def tune_voltdb():
+    print("VoltDB: worker threads (ratios vs 2 workers; Figure 7)")
+    base = run_experiment(paperconfig.voltdb_experiment(n_workers=2, n_txns=N))
+    for workers in (8, 12, 16, 24):
+        candidate = run_experiment(
+            paperconfig.voltdb_experiment(n_workers=workers, n_txns=N)
+        )
+        show("%d workers" % workers, base, candidate)
+
+
+def main():
+    which = sys.argv[1] if len(sys.argv) > 1 else "all"
+    steps = {
+        "mysql": tune_mysql,
+        "postgres": tune_postgres,
+        "voltdb": tune_voltdb,
+    }
+    if which == "all":
+        for step in steps.values():
+            step()
+            print()
+    else:
+        steps[which]()
+
+
+if __name__ == "__main__":
+    main()

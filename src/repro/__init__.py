@@ -1,0 +1,96 @@
+"""repro — reproduction of "A Top-Down Approach to Achieving Performance
+Predictability in Database Systems" (Huang, Mozafari, Schoenebeck,
+Wenisch; SIGMOD 2017).
+
+The package provides:
+
+- **TProfiler** (:mod:`repro.core`) — the paper's variance profiler:
+  transaction-scoped tracing, the variance tree, specificity scoring, and
+  the iterative-refinement loop.
+- **VATS** (:mod:`repro.lockmgr`) — Variance-Aware Transaction Scheduling
+  plus the FCFS and RS baselines, inside a full 2PL lock manager.
+- **Engine models** (:mod:`repro.engines`) — simulated MySQL, Postgres
+  and VoltDB servers with realistic call graphs, built on a deterministic
+  discrete-event simulator (:mod:`repro.sim`) so latency variance is
+  measurable without CPython interpreter noise.
+- **Mitigations** — Lazy LRU Update (:mod:`repro.bufferpool`), parallel
+  logging and flush policies (:mod:`repro.wal`), and variance-aware
+  tuning knobs throughout.
+- **Workloads** (:mod:`repro.workloads`) — TPC-C, SEATS, TATP, Epinions
+  and YCSB generators with the paper's contention profiles.
+- **Harness** (:mod:`repro.bench`) — experiment runner and comparison
+  tables; the ``benchmarks/`` directory regenerates every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import ExperimentConfig, run_experiment
+
+    fcfs = run_experiment(ExperimentConfig(engine="mysql", workload="tpcc"))
+    print(fcfs.summary)
+"""
+
+from repro.bench import (
+    EngineProfiledSystem,
+    ExperimentConfig,
+    RunResult,
+    ratio_row,
+    ratios,
+    run_experiment,
+)
+from repro.core import (
+    CallGraph,
+    NaiveProfiler,
+    TProfiler,
+    Tracer,
+    TransactionContext,
+    TransactionLog,
+    VarianceTree,
+    render_profile,
+)
+from repro.lockmgr import (
+    CATSScheduler,
+    FCFSScheduler,
+    LockManager,
+    LockMode,
+    RandomScheduler,
+    VATSScheduler,
+    make_scheduler,
+)
+from repro.sim import Simulator, Streams, lp_norm, summarize
+from repro.tuning import ParameterSweep, TuningAdvisor
+from repro.workloads import make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CATSScheduler",
+    "CallGraph",
+    "EngineProfiledSystem",
+    "ExperimentConfig",
+    "FCFSScheduler",
+    "LockManager",
+    "LockMode",
+    "NaiveProfiler",
+    "ParameterSweep",
+    "RandomScheduler",
+    "RunResult",
+    "Simulator",
+    "Streams",
+    "TProfiler",
+    "Tracer",
+    "TransactionContext",
+    "TransactionLog",
+    "TuningAdvisor",
+    "VATSScheduler",
+    "VarianceTree",
+    "__version__",
+    "lp_norm",
+    "make_scheduler",
+    "make_workload",
+    "ratio_row",
+    "ratios",
+    "render_profile",
+    "run_experiment",
+    "summarize",
+]

@@ -1,0 +1,24 @@
+"""Experiment harness: run configurations, collect latencies, compare.
+
+- :mod:`repro.bench.runner` — build an engine + workload + driver stack
+  from a declarative :class:`ExperimentConfig`, run it to completion on
+  the virtual clock, and return a :class:`RunResult` with latency
+  summaries and engine-side counters.
+- :mod:`repro.bench.profiled` — :class:`EngineProfiledSystem`, the
+  adapter that lets TProfiler iterate full engine runs.
+- :mod:`repro.bench.compare` — baseline/candidate ratio tables (the
+  paper's 'Orig. / Modified' columns).
+"""
+
+from repro.bench.compare import ratio_row, ratios
+from repro.bench.profiled import EngineProfiledSystem
+from repro.bench.runner import ExperimentConfig, RunResult, run_experiment
+
+__all__ = [
+    "EngineProfiledSystem",
+    "ExperimentConfig",
+    "RunResult",
+    "ratio_row",
+    "ratios",
+    "run_experiment",
+]

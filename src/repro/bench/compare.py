@@ -1,0 +1,36 @@
+"""Baseline/candidate comparison: the paper's ratio columns.
+
+Every improvement in the paper is reported as ``original / modified``
+for mean latency, latency variance, and 99th-percentile latency, so a
+ratio above 1 means the modification helped.
+"""
+
+from repro.sim.stats import summarize
+
+
+def ratios(baseline_latencies, candidate_latencies):
+    """``{mean, variance, p99}`` ratios of baseline over candidate."""
+    base = summarize(baseline_latencies)
+    cand = summarize(candidate_latencies)
+    return {
+        "mean": base.mean / cand.mean,
+        "variance": base.variance / cand.variance,
+        "p99": base.p99 / cand.p99,
+    }
+
+
+def ratio_row(label, baseline_result, candidate_result):
+    """One labelled row for :func:`repro.core.report.render_ratio_table`."""
+    return (label, ratios(baseline_result.latencies, candidate_result.latencies))
+
+
+def geometric_mean(values):
+    """Geometric mean, used to average ratios across workloads."""
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric_mean needs positive values")
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,254 @@
+"""The calibrated experiment configurations behind each paper result.
+
+These are the single source of truth shared by ``benchmarks/``,
+``examples/`` and the integration tests, so every reproduction of a
+table or figure runs the same regime.
+
+Calibration notes (see DESIGN.md for the full rationale):
+
+- *Contended TPC-C* (the Fig. 2 / Table 4 regime): the paper's testbed
+  ran MySQL at 500 tps with ~100 ms mean latency — a lock-bound regime.
+  On the simulator that regime is reached with a spinning-disk redo log
+  (eager flush holds every lock through an ~8 ms fsync), skewed
+  warehouse activity, and popular items (hot stock rows are locked
+  mid-transaction, which is what makes transaction ages diverge from
+  queue arrival order — the condition under which the scheduling
+  discipline matters).
+- *2-WH memory-contended* (the Fig. 3-left / LLU regime): two
+  warehouses, a buffer pool holding ~25% of the working set, and few
+  cores, per the paper's reduced-scale machine.
+- *Postgres* (Table 2 / Fig. 4): WAL on a buffered spinning disk, all
+  flushes behind the global WALWriteLock.
+- *VoltDB* (Fig. 7): two worker threads by default; service time chosen
+  so the default runs near saturation, as the queue-wait-dominated
+  profile of Appendix A requires.
+"""
+
+from repro.bench.runner import ExperimentConfig
+from repro.engines.mysql import MySQLConfig
+from repro.engines.postgres import PostgresConfig
+from repro.engines.voltdb import VoltDBConfig
+from repro.sim.disk import DiskConfig
+from repro.wal.mysql_log import FlushPolicy
+
+#: Seeds used when an experiment aggregates several independent runs.
+SEEDS = (7, 21, 99)
+
+#: Transactions per run: large enough for stable variance estimates of
+#: heavy-tailed latency distributions, small enough for quick benches.
+N_TXNS = 6000
+
+#: Scheduler comparisons measure differences between heavy-tailed
+#: convoy distributions and need longer runs to converge.
+N_TXNS_SCHED = 12_000
+
+RATE_TPS = 500.0
+
+
+def spinning_log_disk():
+    """The 128-WH machine's redo-log device: buffered spinning disk."""
+    return DiskConfig(
+        flush_base_mean=8000.0,
+        flush_base_cv=0.5,
+        flush_tail_prob=0.02,
+        flush_tail_scale=16000.0,
+        flush_tail_alpha=2.0,
+    )
+
+
+def pg_wal_disk():
+    """The Postgres machine's WAL device.
+
+    Calibrated so the single WALWriteLock stream runs just past its
+    saturation knee at 500 tps — the regime in which
+    ``LWLockAcquireOrWait`` dominates overall variance (Table 2) and
+    parallel logging pays off (Figure 4, left).
+    """
+    return DiskConfig(
+        write_base_mean=150.0,
+        write_base_cv=0.4,
+        bandwidth_bytes_per_us=100.0,
+        flush_base_mean=4000.0,
+        flush_base_cv=0.5,
+        flush_tail_prob=0.02,
+        flush_tail_scale=8800.0,
+        flush_tail_alpha=2.0,
+    )
+
+
+def twowh_data_disk():
+    """The 2-WH machine's data device.
+
+    Reads are served by the OS page cache (the dataset fits in RAM), but
+    a dirty-victim writeback is a real single-page flush — the cost the
+    evicting thread pays *while holding the pool mutex* (the MySQL 5.6
+    pathology LLU mitigates).
+    """
+    return DiskConfig(
+        write_base_mean=500.0,
+        write_base_cv=0.7,
+        bandwidth_bytes_per_us=2000.0,
+        read_base_mean=45.0,
+        read_base_cv=0.35,
+    )
+
+
+def tpcc_contended_kwargs():
+    """TPC-C 128-WH with the calibrated contention profile."""
+    return {
+        "warehouses": 128,
+        "warehouse_zipf_theta": 0.99,
+        "item_zipf_theta": 0.9,
+        "remote_warehouse_prob": 0.15,
+    }
+
+
+def mysql_128wh(scheduler="FCFS", **overrides):
+    """The contended MySQL config (Table 1 top, Fig. 2, Table 4)."""
+    params = {
+        "scheduler": scheduler,
+        "statement_cpu": 300.0,
+        "log_disk": spinning_log_disk(),
+        "n_workers": 256,
+    }
+    params.update(overrides)
+    return MySQLConfig(**params)
+
+
+def mysql_128wh_experiment(scheduler="FCFS", seed=SEEDS[0], n_txns=N_TXNS, **overrides):
+    return ExperimentConfig(
+        engine="mysql",
+        workload="tpcc",
+        workload_kwargs=tpcc_contended_kwargs(),
+        engine_config=mysql_128wh(scheduler, **overrides),
+        seed=seed,
+        n_txns=n_txns,
+        rate_tps=RATE_TPS,
+    )
+
+
+def mysql_2wh(lazy_lru=False, buffer_fraction=0.03, **overrides):
+    """The reduced-scale memory-contended config (Table 1 bottom, Fig. 3)."""
+    params = {
+        "scheduler": "FCFS",
+        "statement_cpu": 150.0,
+        "n_cores": 4,
+        "buffer_pool_fraction": buffer_fraction,
+        "lazy_lru": lazy_lru,
+        "log_disk": DiskConfig.battery_backed(),
+        "data_disk": twowh_data_disk(),
+        "n_workers": 128,
+    }
+    params.update(overrides)
+    return MySQLConfig(**params)
+
+
+def tpcc_2wh_kwargs():
+    return {
+        "warehouses": 2,
+        "warehouse_zipf_theta": None,
+        "item_zipf_theta": 0.8,
+        "remote_warehouse_prob": 0.05,
+        "customers_per_district": 600,
+    }
+
+
+#: The reduced-scale machine (2 virtual CPUs) sustains half the load of
+#: the big box; at 500 tps its structural 2-warehouse lock hotspots would
+#: drown the buffer-pool signal the paper's 2-WH study isolates.
+RATE_TPS_2WH = 250.0
+
+
+def mysql_2wh_experiment(
+    lazy_lru=False, buffer_fraction=0.03, seed=SEEDS[0], n_txns=N_TXNS, **overrides
+):
+    return ExperimentConfig(
+        engine="mysql",
+        workload="tpcc",
+        workload_kwargs=tpcc_2wh_kwargs(),
+        engine_config=mysql_2wh(lazy_lru, buffer_fraction, **overrides),
+        seed=seed,
+        n_txns=n_txns,
+        rate_tps=RATE_TPS_2WH,
+    )
+
+
+def workload_kwargs_for(workload):
+    """Per-benchmark generator settings for the Table 4 sweep."""
+    if workload == "tpcc":
+        return tpcc_contended_kwargs()
+    if workload == "seats":
+        return {"scale_factor": 50}
+    if workload == "tatp":
+        return {"scale_factor": 10}
+    if workload == "epinions":
+        return {"scale_factor": 500}
+    if workload == "ycsb":
+        return {"scale_factor": 1200}
+    raise ValueError("unknown workload %r" % (workload,))
+
+
+def mysql_workload_experiment(workload, scheduler="FCFS", seed=SEEDS[0], n_txns=N_TXNS):
+    """One Table 4 cell: MySQL under ``workload`` with ``scheduler``."""
+    return ExperimentConfig(
+        engine="mysql",
+        workload=workload,
+        workload_kwargs=workload_kwargs_for(workload),
+        engine_config=mysql_128wh(scheduler),
+        seed=seed,
+        n_txns=n_txns,
+        rate_tps=RATE_TPS,
+    )
+
+
+def postgres_experiment(
+    parallel_wal=False, block_size=8192, seed=SEEDS[0], n_txns=N_TXNS, **overrides
+):
+    """The Postgres 32-WH setup (Table 2, Fig. 4)."""
+    params = {
+        "wal_block_size": block_size,
+        "parallel_wal": parallel_wal,
+        "log_disk": pg_wal_disk(),
+        "n_workers": 128,
+    }
+    params.update(overrides)
+    return ExperimentConfig(
+        engine="postgres",
+        workload="tpcc",
+        workload_kwargs={
+            "warehouses": 32,
+            "warehouse_zipf_theta": None,
+            "item_zipf_theta": None,
+        },
+        engine_config=PostgresConfig(**params),
+        seed=seed,
+        n_txns=n_txns,
+        rate_tps=RATE_TPS,
+    )
+
+
+def voltdb_experiment(n_workers=2, seed=SEEDS[0], n_txns=N_TXNS, **overrides):
+    """The VoltDB setup (Fig. 7, Appendix A)."""
+    params = {"n_workers": n_workers}
+    params.update(overrides)
+    return ExperimentConfig(
+        engine="voltdb",
+        workload="tpcc",
+        workload_kwargs=tpcc_contended_kwargs(),
+        engine_config=VoltDBConfig(**params),
+        seed=seed,
+        n_txns=n_txns,
+        rate_tps=RATE_TPS,
+    )
+
+
+def flush_policy_experiment(policy, seed=SEEDS[0], n_txns=N_TXNS):
+    """One Fig. 3-right cell: MySQL under a redo flush policy."""
+    policies = {
+        "eager": FlushPolicy.EAGER_FLUSH,
+        "lazy_flush": FlushPolicy.LAZY_FLUSH,
+        "lazy_write": FlushPolicy.LAZY_WRITE,
+    }
+    return mysql_128wh_experiment(
+        scheduler="VATS", seed=seed, n_txns=n_txns, flush_policy=policies[policy]
+    )

@@ -1,0 +1,48 @@
+"""The adapter that lets TProfiler drive full engine runs.
+
+TProfiler's loop needs a system it can re-run with different
+instrumented subsets (Section 3.1); :class:`EngineProfiledSystem` wraps
+an :class:`~repro.bench.runner.ExperimentConfig` so every profiler
+iteration is a fresh, deterministic simulation differing only in which
+functions carry probes.
+"""
+
+from repro.core.profiler import ProfiledSystem
+from repro.bench.runner import engine_callgraph, run_experiment
+
+
+class EngineProfiledSystem(ProfiledSystem):
+    """Profile any engine/workload combination."""
+
+    def __init__(self, config):
+        self.config = config
+        self.callgraph = engine_callgraph(config.engine)
+        self.runs = []
+
+    def run(self, instrumented, probe_cost):
+        result = run_experiment(
+            self.config.replaced(
+                instrumented=frozenset(instrumented), probe_cost=probe_cost
+            )
+        )
+        self.runs.append(result)
+        # Hand the profiler only the measurement set (committed,
+        # post-warmup), packaged as a TransactionLog-alike.
+        return _FilteredLog(result)
+
+
+class _FilteredLog:
+    """TransactionLog facade over a run's post-warmup committed traces."""
+
+    def __init__(self, result):
+        self.traces = result.traces
+
+    def latencies(self, txn_type=None):
+        return [
+            t.latency
+            for t in self.traces
+            if txn_type is None or t.txn_type == txn_type
+        ]
+
+    def __len__(self):
+        return len(self.traces)

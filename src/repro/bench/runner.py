@@ -1,0 +1,160 @@
+"""Build and run one experiment configuration.
+
+An :class:`ExperimentConfig` names the engine, the workload (with
+keyword overrides), the offered load, and any engine configuration; the
+runner assembles the simulator, random streams, tracer, engine and
+driver, runs the virtual clock until every transaction completes, and
+returns a :class:`RunResult`.
+
+Methodology matches Section 7.1: constant offered throughput (500 tps
+default), a warmup fraction discarded from the front of the run (cold
+buffer pool, empty queues), and mean / variance / p99 computed over the
+remaining committed transactions.
+"""
+
+from repro.core.annotations import TransactionLog
+from repro.core.tracing import Tracer
+from repro.engines.mysql import MySQLConfig, MySQLEngine, mysql_callgraph
+from repro.engines.postgres import PostgresConfig, PostgresEngine, postgres_callgraph
+from repro.engines.voltdb import VoltDBConfig, VoltDBEngine, voltdb_callgraph
+from repro.sim.kernel import Simulator
+from repro.sim.rand import Streams
+from repro.sim.stats import summarize
+from repro.workloads import make_workload
+from repro.workloads.driver import LoadDriver
+
+_ENGINES = {
+    "mysql": (MySQLEngine, MySQLConfig, mysql_callgraph),
+    "postgres": (PostgresEngine, PostgresConfig, postgres_callgraph),
+    "voltdb": (VoltDBEngine, VoltDBConfig, voltdb_callgraph),
+}
+
+
+def engine_callgraph(engine_name):
+    """The static call graph for an engine by name."""
+    return _ENGINES[engine_name][2]()
+
+
+class ExperimentConfig:
+    """A declarative experiment: engine + workload + load + knobs."""
+
+    def __init__(
+        self,
+        engine="mysql",
+        workload="tpcc",
+        workload_kwargs=None,
+        engine_config=None,
+        seed=42,
+        n_txns=3000,
+        rate_tps=500.0,
+        warmup_fraction=0.1,
+        instrumented=(),
+        probe_cost=0.0,
+    ):
+        if engine not in _ENGINES:
+            raise ValueError("unknown engine %r" % (engine,))
+        self.engine = engine
+        self.workload = workload
+        self.workload_kwargs = dict(workload_kwargs or {})
+        self.engine_config = engine_config
+        self.seed = seed
+        self.n_txns = n_txns
+        self.rate_tps = rate_tps
+        self.warmup_fraction = warmup_fraction
+        self.instrumented = frozenset(instrumented)
+        self.probe_cost = probe_cost
+
+    def replaced(self, **overrides):
+        """A copy of this config with fields replaced."""
+        fields = {
+            "engine": self.engine,
+            "workload": self.workload,
+            "workload_kwargs": dict(self.workload_kwargs),
+            "engine_config": self.engine_config,
+            "seed": self.seed,
+            "n_txns": self.n_txns,
+            "rate_tps": self.rate_tps,
+            "warmup_fraction": self.warmup_fraction,
+            "instrumented": self.instrumented,
+            "probe_cost": self.probe_cost,
+        }
+        fields.update(overrides)
+        return ExperimentConfig(**fields)
+
+
+class RunResult:
+    """Everything one run produced."""
+
+    def __init__(self, config, log, engine, sim, warmup_count):
+        self.config = config
+        self.log = log
+        self.engine = engine
+        self.sim = sim
+        self.warmup_count = warmup_count
+
+    @property
+    def traces(self):
+        """Committed, post-warmup traces (the measurement set)."""
+        return [
+            t
+            for t in self.log.traces
+            if t.committed and t.txn_id >= self.warmup_count
+        ]
+
+    @property
+    def latencies(self):
+        return [t.latency for t in self.traces]
+
+    def latencies_of(self, txn_type):
+        return [t.latency for t in self.traces if t.txn_type == txn_type]
+
+    @property
+    def summary(self):
+        return summarize(self.latencies)
+
+    @property
+    def throughput_tps(self):
+        """Completed transactions per second of virtual time."""
+        traces = self.traces
+        if not traces:
+            return 0.0
+        span = max(t.end for t in traces) - min(t.birth for t in traces)
+        if span <= 0:
+            return 0.0
+        return len(traces) / (span / 1_000_000.0)
+
+    def __repr__(self):
+        return "<RunResult %s/%s n=%d>" % (
+            self.config.engine,
+            self.config.workload,
+            len(self.traces),
+        )
+
+
+def run_experiment(config):
+    """Execute one :class:`ExperimentConfig` to completion."""
+    sim = Simulator()
+    streams = Streams(config.seed)
+    workload = make_workload(config.workload, **config.workload_kwargs)
+    log = TransactionLog()
+    engine_cls, _config_cls, callgraph_factory = _ENGINES[config.engine]
+    tracer = Tracer(
+        sim,
+        callgraph_factory(),
+        instrumented=config.instrumented,
+        probe_cost=config.probe_cost,
+        log=log,
+    )
+    engine = engine_cls(sim, tracer, workload, streams, config=config.engine_config)
+    driver = LoadDriver(
+        sim,
+        engine,
+        workload,
+        streams,
+        rate_tps=config.rate_tps,
+        n_txns=config.n_txns,
+    )
+    driver.start()
+    sim.run()
+    warmup_count = int(config.n_txns * config.warmup_fraction)
+    return RunResult(config, log, engine, sim, warmup_count)

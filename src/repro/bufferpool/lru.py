@@ -1,0 +1,147 @@
+"""The split (young/old) LRU list.
+
+MySQL does not keep a strict LRU: the list is split into a *young* and an
+*old* sublist, with the old sublist holding (by default) 3/8 of the pages.
+Newly read pages enter at the head of the old sublist; a subsequent access
+to an old page promotes it to the head of the young list (make-young);
+replacement victims are taken from the old tail.  Within the young list,
+pages near the head are not re-ordered on access (to limit mutex traffic),
+only pages deeper than ``young_reorder_depth`` fraction are moved.
+
+This module is pure data structure — all virtual-time costs and the mutex
+live in :mod:`repro.bufferpool.pool`.
+"""
+
+from collections import OrderedDict
+
+
+class LRUList:
+    """Young/old split LRU over opaque page ids."""
+
+    def __init__(self, capacity, old_ratio=3.0 / 8.0, young_reorder_depth=0.25):
+        if capacity < 2:
+            raise ValueError("LRU capacity must be >= 2")
+        if not 0.0 < old_ratio < 1.0:
+            raise ValueError("old_ratio must be in (0, 1)")
+        self.capacity = capacity
+        self.old_ratio = old_ratio
+        self.young_reorder_depth = young_reorder_depth
+        # First item = head (most recently used end) of each sublist.
+        self._young = OrderedDict()
+        self._old = OrderedDict()
+        # Promotion clock (InnoDB's freed_page_clock heuristic): each
+        # promotion ticks the clock; a young page is re-promoted only when
+        # enough promotions have happened since its last one that it has
+        # sunk past the no-reorder zone.  O(1) instead of a list scan.
+        self._clock = 0
+        self._stamp = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self):
+        return len(self._young) + len(self._old)
+
+    def __contains__(self, page_id):
+        return page_id in self._young or page_id in self._old
+
+    @property
+    def old_target(self):
+        """Desired old-sublist size for the current population."""
+        return int(len(self) * self.old_ratio)
+
+    @property
+    def young_pages(self):
+        return list(self._young)
+
+    @property
+    def old_pages(self):
+        return list(self._old)
+
+    def in_old(self, page_id):
+        return page_id in self._old
+
+    # ------------------------------------------------------------------
+    # Mutations (call under the pool mutex)
+    # ------------------------------------------------------------------
+
+    def insert_old(self, page_id):
+        """A newly read page enters at the head of the old sublist."""
+        if page_id in self:
+            raise KeyError("page %r already in LRU" % (page_id,))
+        if len(self) >= self.capacity:
+            raise RuntimeError("LRU full; evict first")
+        self._old[page_id] = True
+        self._old.move_to_end(page_id, last=False)
+        self._stamp[page_id] = self._clock
+        self._rebalance()
+
+    def make_young(self, page_id):
+        """Promote a page to the head of the young sublist."""
+        if page_id in self._old:
+            del self._old[page_id]
+        elif page_id in self._young:
+            del self._young[page_id]
+        else:
+            raise KeyError("page %r not in LRU" % (page_id,))
+        self._young[page_id] = True
+        self._young.move_to_end(page_id, last=False)
+        self._clock += 1
+        self._stamp[page_id] = self._clock
+        self._rebalance()
+
+    def needs_make_young(self, page_id):
+        """Should an access to this page take the mutex and promote it?
+
+        True for pages in the old sublist, and for young pages that have
+        sunk past ``young_reorder_depth`` of the young list since their
+        last promotion (pages near the young head are left alone —
+        MySQL's re-ordering-avoidance / freed_page_clock heuristic).
+        """
+        if page_id in self._old:
+            return True
+        if page_id not in self._young:
+            raise KeyError("page %r not in LRU" % (page_id,))
+        threshold = self.young_reorder_depth * len(self._young)
+        return (self._clock - self._stamp.get(page_id, 0)) > threshold
+
+    def victim(self):
+        """The replacement victim: tail of the old sublist."""
+        if self._old:
+            return next(reversed(self._old))
+        if self._young:
+            return next(reversed(self._young))
+        return None
+
+    def remove(self, page_id):
+        if page_id in self._old:
+            del self._old[page_id]
+        elif page_id in self._young:
+            del self._young[page_id]
+        else:
+            raise KeyError("page %r not in LRU" % (page_id,))
+        self._stamp.pop(page_id, None)
+        self._rebalance()
+
+    def _rebalance(self):
+        """Keep the old sublist at its target share by demoting young tails."""
+        target = self.old_target
+        while len(self._old) < target and len(self._young) > 0:
+            tail = next(reversed(self._young))
+            del self._young[tail]
+            self._old[tail] = True
+            self._old.move_to_end(tail, last=False)
+        while len(self._old) > target + 1 and len(self._old) > 0:
+            head = next(iter(self._old))
+            del self._old[head]
+            self._young[head] = True
+            # Promoted boundary pages join the young *tail*.
+            self._young.move_to_end(head, last=True)
+
+    def __repr__(self):
+        return "<LRUList young=%d old=%d cap=%d>" % (
+            len(self._young),
+            len(self._old),
+            self.capacity,
+        )

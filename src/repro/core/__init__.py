@@ -1,0 +1,52 @@
+"""TProfiler — the paper's primary contribution.
+
+The package implements the full TProfiler pipeline from Section 3:
+
+- :mod:`repro.core.annotations` — the transaction demarcation API
+  (``begin``/``end``, plus interval concatenation for task-concurrent
+  engines like VoltDB) and the per-transaction trace records.
+- :mod:`repro.core.callgraph` — the static call-graph registry used for
+  factor heights and expansion decisions.
+- :mod:`repro.core.tracing` — selective instrumentation: only the chosen
+  subset of functions is timed, each probe charging a configurable
+  virtual-time cost (the mechanism behind the Figure 5 overhead study).
+- :mod:`repro.core.variance_tree` — the variance tree:
+  ``Var(sum X_i) = sum Var(X_i) + 2 sum Cov(X_i, X_j)`` decomposed over a
+  parent's body and instrumented children.
+- :mod:`repro.core.scoring` — specificity ``(H - h)^2`` and the joint
+  specificity-times-variance score; top-k factor selection.
+- :mod:`repro.core.profiler` — the iterative refinement driver
+  (instrument, collect, analyze, expand) and the naive expand-everything
+  baseline.
+- :mod:`repro.core.dtrace` — a DTrace-style binary-probe baseline with an
+  order-of-magnitude higher per-probe cost.
+- :mod:`repro.core.report` — Table 1 / Table 2 style rendering.
+"""
+
+from repro.core.annotations import TransactionContext, TransactionLog, TxnTrace
+from repro.core.callgraph import CallGraph
+from repro.core.instrument import SourceInstrumenter, set_tracer
+from repro.core.tracing import Tracer
+from repro.core.variance_tree import VarianceTree, VarianceNode
+from repro.core.scoring import score_factors, specificity, top_k_factors
+from repro.core.profiler import NaiveProfiler, ProfiledSystem, TProfiler
+from repro.core.report import render_profile
+
+__all__ = [
+    "CallGraph",
+    "NaiveProfiler",
+    "ProfiledSystem",
+    "SourceInstrumenter",
+    "TProfiler",
+    "Tracer",
+    "TransactionContext",
+    "TransactionLog",
+    "TxnTrace",
+    "VarianceNode",
+    "VarianceTree",
+    "render_profile",
+    "score_factors",
+    "specificity",
+    "set_tracer",
+    "top_k_factors",
+]

@@ -1,0 +1,123 @@
+"""Automatic source instrumentation (the paper's Section 3.1 step).
+
+TProfiler "automatically instruments the source code" of the system
+under study so that a selected subset of functions reports entry/exit
+times; the developer only annotates transaction boundaries.  For
+simulated engines written as plain generator functions — with *no*
+explicit tracer calls — this module provides the same automation: an
+AST rewrite that wraps every call-graph function in
+:meth:`repro.core.tracing.Tracer.traced`.
+
+Convention: an instrumentable function is a generator function whose
+first parameter is the transaction context (``ctx``).  The rewrite
+renames the original to an implementation alias and synthesises a
+wrapper::
+
+    def fil_flush(ctx, ...):            def fil_flush(ctx, *a, **k):
+        yield from disk.flush()   ->        result = yield from __tprofiler_tracer__.traced(
+                                                ctx, "fil_flush",
+                                                __tprofiler_impl_fil_flush(ctx, *a, **k))
+                                            return result
+
+The tracer is attached afterwards with :func:`set_tracer`; which
+functions actually record anything is still governed by the tracer's
+instrumented *subset*, so the profiler's selective-overhead property is
+preserved — the rewrite is a one-time, whole-module operation.
+"""
+
+import ast
+import types
+
+TRACER_GLOBAL = "__tprofiler_tracer__"
+IMPL_PREFIX = "__tprofiler_impl_"
+
+
+def _is_generator(node):
+    for inner in ast.walk(node):
+        if isinstance(inner, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+def _first_arg_is_ctx(node):
+    args = node.args.args
+    if not args:
+        return False
+    first = args[0].arg
+    return first in ("ctx", "self_ctx") or first.endswith("_ctx")
+
+
+def _wrapper_for(name):
+    source = (
+        "def {name}(ctx, *args, **kwargs):\n"
+        "    result = yield from {tracer}.traced(\n"
+        "        ctx, {name!r}, {impl}{name}(ctx, *args, **kwargs)\n"
+        "    )\n"
+        "    return result\n"
+    ).format(name=name, tracer=TRACER_GLOBAL, impl=IMPL_PREFIX)
+    return ast.parse(source).body[0]
+
+
+class SourceInstrumenter:
+    """Rewrite a module's source so call-graph functions are traced."""
+
+    def __init__(self, callgraph):
+        self.callgraph = callgraph
+        self.instrumented_functions = []
+
+    # ------------------------------------------------------------------
+    # Source-to-source
+    # ------------------------------------------------------------------
+
+    def instrument_source(self, source, filename="<instrumented>"):
+        """Return transformed source text (also records what it wrapped)."""
+        tree = ast.parse(source, filename)
+        self.instrumented_functions = []
+        new_body = []
+        for node in tree.body:
+            new_body.append(node)
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if node.name.startswith(IMPL_PREFIX):
+                continue
+            if node.name not in self.callgraph:
+                continue
+            if not _is_generator(node) or not _first_arg_is_ctx(node):
+                continue
+            node.name = IMPL_PREFIX + node.name
+            original = node.name[len(IMPL_PREFIX):]
+            new_body.append(_wrapper_for(original))
+            self.instrumented_functions.append(original)
+        tree.body = new_body
+        ast.fix_missing_locations(tree)
+        return ast.unparse(tree)
+
+    # ------------------------------------------------------------------
+    # Module-level convenience
+    # ------------------------------------------------------------------
+
+    def instrument_module_source(self, source, module_name="instrumented"):
+        """Compile transformed source into a fresh module object.
+
+        The module's ``__tprofiler_tracer__`` starts as a no-op passthrough;
+        attach a real tracer with :func:`set_tracer`.
+        """
+        transformed = self.instrument_source(source)
+        module = types.ModuleType(module_name)
+        module.__dict__[TRACER_GLOBAL] = _PassthroughTracer()
+        exec(compile(transformed, "<%s>" % module_name, "exec"), module.__dict__)
+        return module
+
+
+def set_tracer(module, tracer):
+    """Attach a real :class:`~repro.core.tracing.Tracer` to an
+    instrumented module."""
+    module.__dict__[TRACER_GLOBAL] = tracer
+
+
+class _PassthroughTracer:
+    """Default tracer: delegate with zero recording (pre-attachment)."""
+
+    def traced(self, ctx, name, subgen, site=None):
+        result = yield from subgen
+        return result

@@ -1,0 +1,70 @@
+"""Rendering of profile results in the paper's table format."""
+
+
+def render_profile(result, top=6, config_label=""):
+    """Render a :class:`~repro.core.profiler.ProfileResult` like Table 1.
+
+    Columns: configuration label, factor (function @ site), and its share
+    of overall transaction latency variance.
+    """
+    lines = []
+    header = "%-10s %-48s %s" % ("Config", "Function Name", "% of Overall Variance")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in result.top(top):
+        label = row.name if row.site in ("<root>", "") else "%s [%s]" % (
+            row.name,
+            row.site,
+        )
+        lines.append(
+            "%-10s %-48s %6.2f%%" % (config_label, label, 100.0 * row.share)
+        )
+    return "\n".join(lines)
+
+
+def render_ratio_table(title, rows):
+    """Render a ratio table like Table 4 / Figure 2.
+
+    ``rows`` is ``[(label, {"mean": r, "variance": r, "p99": r}), ...]``;
+    ratios are baseline/candidate, so > 1 means the candidate improves.
+    """
+    lines = [title]
+    header = "%-14s %10s %10s %10s" % ("Workload", "Mean", "Variance", "99th %ile")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, ratios in rows:
+        lines.append(
+            "%-14s %9.1fx %9.1fx %9.1fx"
+            % (label, ratios["mean"], ratios["variance"], ratios["p99"])
+        )
+    return "\n".join(lines)
+
+
+def render_summary_table(title, rows):
+    """Render absolute latency summaries like Figure 6.
+
+    ``rows`` is ``[(label, LatencySummary), ...]``; times are reported in
+    milliseconds for readability (the simulator's clock is microseconds).
+    """
+    lines = [title]
+    header = "%-14s %12s %12s %12s %8s" % (
+        "System",
+        "Mean (ms)",
+        "Std (ms)",
+        "p99 (ms)",
+        "CV",
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, summary in rows:
+        lines.append(
+            "%-14s %12.2f %12.2f %12.2f %8.2f"
+            % (
+                label,
+                summary.mean / 1000.0,
+                summary.std / 1000.0,
+                summary.p99 / 1000.0,
+                summary.cv,
+            )
+        )
+    return "\n".join(lines)

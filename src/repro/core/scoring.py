@@ -1,0 +1,51 @@
+"""Factor scoring: specificity x variance (Section 3.2, eqs. 2-3).
+
+The variance of a parent is always at least that of any child's
+contribution, so the highest-variance factors sit uselessly at the root of
+the call hierarchy.  TProfiler therefore ranks factors by
+
+    score(phi) = specificity(phi) * sum_i V(phi_i)                  (3)
+    specificity(phi) = (height(call graph) - height(phi)) ** 2      (2)
+
+where V(phi_i) is the variance (or covariance) of call site i of the
+factor, aggregated across sites, and height is the static call-graph
+height (leaves = 0).  The square gives deep, specific functions a strong
+edge — the paper's ablation knob ``exponent`` is exposed here.
+"""
+
+
+def specificity(callgraph, name, exponent=2):
+    """Eq. (2): ``(graph_height - height(name)) ** exponent``."""
+    return float(callgraph.graph_height - callgraph.height(name)) ** exponent
+
+
+def score_factors(tree, callgraph, exponent=2):
+    """Score every measured function name in a variance tree.
+
+    Returns ``{function_name: score}``.  Per the paper, the variance of a
+    function is aggregated across its call sites before scoring; the root
+    function and synthetic body factors score like their function.
+    """
+    # Aggregate variance across sites: sum the per-site per-transaction
+    # vectors, then take the variance of the sum (matching name_shares).
+    by_name = {}
+    for key in tree.factor_keys:
+        name = key[0]
+        arr = tree._factor_samples[key]
+        if name in by_name:
+            by_name[name] = by_name[name] + arr
+        else:
+            by_name[name] = arr.copy()
+    scores = {}
+    for name, arr in by_name.items():
+        base = name[: -len("::body")] if name.endswith("::body") else name
+        if base not in callgraph:
+            continue
+        scores[name] = specificity(callgraph, base, exponent) * float(arr.var())
+    return scores
+
+
+def top_k_factors(scores, k):
+    """The k highest-scoring names, best first (ties broken by name)."""
+    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    return [name for name, _score in ranked[:k]]

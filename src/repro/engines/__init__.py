@@ -1,0 +1,36 @@
+"""The three simulated database engines the paper studies.
+
+Each engine composes the substrates (lock manager, buffer pool, WAL,
+B-tree storage) into a server with the architecture and — critically for
+TProfiler — the *call graph* of the real system, so profiles read like
+the paper's tables:
+
+- :mod:`repro.engines.mysql` — thread-per-connection InnoDB model:
+  FCFS/VATS/RS record locks, young/old buffer pool (optionally with Lazy
+  LRU Update), redo log with the three flush policies.
+- :mod:`repro.engines.postgres` — process-per-connection model: row
+  locks, SSI-style predicate locks released at commit, and the global
+  WALWriteLock serialising redo flushes (optionally parallel logging).
+- :mod:`repro.engines.voltdb` — event-based model: transactions are
+  stored-procedure tasks waiting in a queue for one of N worker threads.
+
+All engines implement the same driver protocol: ``submit(ctx, spec)``
+enqueues a transaction, ``drain()`` ends the run, and the shared
+``tracer`` / ``txn_log`` expose traces to TProfiler and the bench
+harness.
+"""
+
+from repro.engines.base import Engine
+from repro.engines.mysql import MySQLConfig, MySQLEngine
+from repro.engines.postgres import PostgresConfig, PostgresEngine
+from repro.engines.voltdb import VoltDBConfig, VoltDBEngine
+
+__all__ = [
+    "Engine",
+    "MySQLConfig",
+    "MySQLEngine",
+    "PostgresConfig",
+    "PostgresEngine",
+    "VoltDBConfig",
+    "VoltDBEngine",
+]

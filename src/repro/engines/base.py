@@ -1,0 +1,91 @@
+"""Shared engine machinery: the worker pool and driver protocol.
+
+Engines process transactions with a fixed pool of worker processes
+consuming a submission queue — the thread-per-connection (MySQL) and
+process-per-connection (Postgres) architectures collapse to this shape
+once clients are rate-limited terminals, and it bounds simulator process
+count.  VoltDB overrides the worker loop with its task-concurrent model.
+
+Driver protocol::
+
+    engine.submit(ctx, spec)   # called by the load driver per arrival
+    ...
+    engine.drain()             # after the last submission: workers stop
+                               # once the queue empties
+
+Each worker owns the per-thread state the substrates need (the Lazy LRU
+Update backlog lives here, matching the paper's "thread-local backlog of
+deferred LRU updates").
+"""
+
+from repro.sim.resources import WaitQueue
+
+
+class _Shutdown:
+    """Queue sentinel telling a worker to exit."""
+
+
+class Worker:
+    """One server thread: identity + thread-local state."""
+
+    __slots__ = ("worker_id", "llu_backlog", "txns_executed")
+
+    def __init__(self, worker_id):
+        self.worker_id = worker_id
+        self.llu_backlog = []
+        self.txns_executed = 0
+
+
+class Engine:
+    """Base engine: submission queue + N workers running ``_execute``."""
+
+    name = "abstract"
+
+    def __init__(self, sim, tracer, n_workers):
+        self.sim = sim
+        self.tracer = tracer
+        self.n_workers = n_workers
+        self.queue = WaitQueue(sim, name=self.name + ".submit")
+        self.workers = [Worker(i) for i in range(n_workers)]
+        self._worker_procs = [
+            sim.spawn(self._worker_loop(worker), name="%s.worker%d" % (self.name, i))
+            for i, worker in enumerate(self.workers)
+        ]
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Driver protocol
+    # ------------------------------------------------------------------
+
+    def submit(self, ctx, spec):
+        """Enqueue one transaction for execution."""
+        if self._draining:
+            raise RuntimeError("submit after drain on %s" % (self.name,))
+        self.queue.put((ctx, spec))
+
+    def drain(self):
+        """No more submissions; workers exit once the queue empties."""
+        self._draining = True
+        for _ in self.workers:
+            self.queue.put(_Shutdown)
+
+    @property
+    def queue_depth(self):
+        return len(self.queue)
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self, worker):
+        while True:
+            item = yield from self.queue.get()
+            if item is _Shutdown:
+                return
+            ctx, spec = item
+            worker.txns_executed += 1
+            yield from self._execute(worker, ctx, spec)
+
+    def _execute(self, worker, ctx, spec):
+        """Generator: run one transaction to completion (subclass hook)."""
+        raise NotImplementedError

@@ -1,0 +1,351 @@
+"""The simulated MySQL/InnoDB engine (thread-per-connection).
+
+Composes the full substrate stack — 2PL lock manager with pluggable
+scheduler, young/old buffer pool (optionally Lazy LRU Update), redo log
+with the three ``innodb_flush_log_at_trx_commit`` policies, and B-tree
+storage — under the call graph of the real server, so TProfiler's
+profiles name the functions Table 1 names:
+
+    do_command
+      dispatch_command
+        mysql_execute_command
+          row_search_for_mysql        (selects)
+            btr_cur_search_to_nth_level
+              buf_page_make_young -> buf_pool_mutex_enter [make_young]
+                                     buf_LRU_make_block_young
+              buf_read_page       -> buf_pool_mutex_enter [read_page]
+                                     buf_LRU_get_free_block
+            sel_set_rec_lock -> lock_rec_lock
+              lock_wait_suspend_thread -> os_event_wait   [site A]
+          row_upd_step                (updates)
+            lock_rec_lock -> lock_wait_suspend_thread -> os_event_wait [B]
+            btr_cur_search_to_nth_level ...
+          row_ins                     (inserts)
+            lock_rec_lock ...
+            row_ins_clust_index_entry_low
+              btr_cur_search_to_nth_level ...
+          innobase_commit -> trx_commit
+            log_write_up_to -> fil_flush
+
+Locks are held to commit (strict 2PL); a deadlock or lock-wait timeout
+aborts the attempt, releases everything, and retries after a randomized
+backoff — latency is measured from first submission to final commit, as
+the paper's client does.
+"""
+
+from repro.core.callgraph import CallGraph
+from repro.engines.base import Engine
+from repro.lockmgr.locks import LockMode
+from repro.lockmgr.manager import LockManager, RequestStatus
+from repro.lockmgr.scheduling import make_scheduler
+from repro.bufferpool.pool import BufferPool, BufferPoolConfig
+from repro.sim.disk import Disk, DiskConfig
+from repro.sim.kernel import Timeout
+from repro.sim.rand import LogNormal
+from repro.sim.resources import CoreSet
+from repro.storage.tables import TableCatalog
+from repro.wal.mysql_log import FlushPolicy, RedoLog, RedoLogConfig
+
+
+def mysql_callgraph():
+    """The static call graph TProfiler navigates."""
+    edges = {
+        "do_command": ["dispatch_command"],
+        "dispatch_command": ["mysql_execute_command"],
+        "mysql_execute_command": [
+            "row_search_for_mysql",
+            "row_upd_step",
+            "row_ins",
+            "innobase_commit",
+        ],
+        "row_search_for_mysql": [
+            "btr_cur_search_to_nth_level",
+            "sel_set_rec_lock",
+        ],
+        "sel_set_rec_lock": ["lock_rec_lock"],
+        "row_upd_step": ["lock_rec_lock", "btr_cur_search_to_nth_level"],
+        "row_ins": ["lock_rec_lock", "row_ins_clust_index_entry_low"],
+        "row_ins_clust_index_entry_low": ["btr_cur_search_to_nth_level"],
+        "lock_rec_lock": ["lock_wait_suspend_thread"],
+        "lock_wait_suspend_thread": ["os_event_wait"],
+        "btr_cur_search_to_nth_level": ["buf_page_make_young", "buf_read_page"],
+        "buf_page_make_young": [
+            "buf_pool_mutex_enter",
+            "buf_LRU_make_block_young",
+        ],
+        "buf_read_page": ["buf_pool_mutex_enter", "buf_LRU_get_free_block"],
+        "innobase_commit": ["trx_commit"],
+        "trx_commit": ["log_write_up_to"],
+        "log_write_up_to": ["fil_flush"],
+    }
+    return CallGraph.from_dict("do_command", edges)
+
+
+class MySQLConfig:
+    """Engine configuration (times in microseconds)."""
+
+    def __init__(
+        self,
+        scheduler="FCFS",
+        strict_vats_arrival=False,
+        n_workers=64,
+        buffer_pool_fraction=1.2,
+        buffer_pool_pages=None,
+        lazy_lru=False,
+        llu_spin_timeout=10.0,
+        flush_policy=FlushPolicy.EAGER_FLUSH,
+        group_commit=True,
+        log_disk=None,
+        data_disk=None,
+        n_cores=16,
+        statement_cpu=300.0,
+        statement_cpu_cv=0.5,
+        row_cpu=2.0,
+        commit_cpu=6.0,
+        prewarm=True,
+        lock_sys_bookkeeping=True,
+        lock_wait_timeout=10_000_000.0,
+        max_attempts=12,
+        backoff_range=(500.0, 2000.0),
+    ):
+        self.scheduler = scheduler
+        self.strict_vats_arrival = strict_vats_arrival
+        self.n_workers = n_workers
+        self.buffer_pool_fraction = buffer_pool_fraction
+        self.buffer_pool_pages = buffer_pool_pages
+        self.lazy_lru = lazy_lru
+        self.llu_spin_timeout = llu_spin_timeout
+        self.flush_policy = flush_policy
+        self.group_commit = group_commit
+        self.log_disk = log_disk or DiskConfig.battery_backed()
+        self.data_disk = data_disk or DiskConfig.page_cache()
+        self.n_cores = n_cores
+        self.statement_cpu = statement_cpu
+        self.statement_cpu_cv = statement_cpu_cv
+        self.row_cpu = row_cpu
+        self.commit_cpu = commit_cpu
+        self.prewarm = prewarm
+        self.lock_sys_bookkeeping = lock_sys_bookkeeping
+        self.lock_wait_timeout = lock_wait_timeout
+        self.max_attempts = max_attempts
+        self.backoff_range = backoff_range
+
+
+class MySQLEngine(Engine):
+    name = "mysql"
+
+    def __init__(self, sim, tracer, workload, streams, config=None):
+        self.config = config or MySQLConfig()
+        super().__init__(sim, tracer, self.config.n_workers)
+        self.workload = workload
+        self.catalog = TableCatalog.from_schema(workload.schema)
+        self.rng = streams.stream("mysql.engine")
+        scheduler = make_scheduler(
+            self.config.scheduler,
+            rng=streams.stream("mysql.scheduler"),
+            strict_arrival=self.config.strict_vats_arrival,
+        )
+        self.lockmgr = LockManager(
+            sim,
+            scheduler,
+            wait_timeout=self.config.lock_wait_timeout,
+            bookkeeping=self.config.lock_sys_bookkeeping,
+        )
+        self.data_disk = Disk(
+            sim, streams.stream("mysql.data_disk"), self.config.data_disk, "data"
+        )
+        self.log_disk = Disk(
+            sim, streams.stream("mysql.log_disk"), self.config.log_disk, "log"
+        )
+        capacity = self.config.buffer_pool_pages
+        if capacity is None:
+            capacity = max(
+                16, int(self.catalog.total_pages * self.config.buffer_pool_fraction)
+            )
+        pool_config = BufferPoolConfig(
+            capacity_pages=capacity,
+            lazy_lru=self.config.lazy_lru,
+            llu_spin_timeout=self.config.llu_spin_timeout,
+        )
+        self.pool = BufferPool(sim, tracer, self.data_disk, pool_config)
+        if self.config.prewarm:
+            self.pool.prewarm(self.catalog.iter_pages())
+        self.cpu = CoreSet(sim, self.config.n_cores)
+        self._stmt_cpu_dist = LogNormal(
+            self.config.statement_cpu, self.config.statement_cpu_cv
+        )
+        self.redo = RedoLog(
+            sim,
+            tracer,
+            self.log_disk,
+            RedoLogConfig(
+                policy=self.config.flush_policy,
+                group_commit=self.config.group_commit,
+            ),
+        )
+        self.aborts = 0
+        self.failed_txns = 0
+
+    # ------------------------------------------------------------------
+    # Transaction execution
+    # ------------------------------------------------------------------
+
+    def _execute(self, worker, ctx, spec):
+        tracer = self.tracer
+        tracer.begin_transaction(ctx)
+        committed = False
+        for attempt in range(self.config.max_attempts):
+            if attempt:
+                ctx.attempts += 1
+                lo, hi = self.config.backoff_range
+                yield Timeout(self.rng.uniform(lo, hi))
+            ok = yield from tracer.traced(
+                ctx, "do_command", self._do_command(worker, ctx, spec)
+            )
+            if ok:
+                committed = True
+                break
+            self.aborts += 1
+        if not committed:
+            self.failed_txns += 1
+        tracer.end_transaction(ctx, committed)
+
+    def _do_command(self, worker, ctx, spec):
+        ok = yield from self.tracer.traced(
+            ctx, "dispatch_command", self._dispatch_command(worker, ctx, spec)
+        )
+        return ok
+
+    def _dispatch_command(self, worker, ctx, spec):
+        ok = yield from self.tracer.traced(
+            ctx, "mysql_execute_command", self._mysql_execute(worker, ctx, spec)
+        )
+        return ok
+
+    def _mysql_execute(self, worker, ctx, spec):
+        redo_bytes = 0
+        for op in spec.ops:
+            # Parse/plan/execute CPU runs on a finite core set: near
+            # saturation, CPU queueing stretches statements and therefore
+            # lock hold times — the paper's hardware regime.
+            yield from self.cpu.consume(self._stmt_cpu_dist.sample(self.rng))
+            table = self.catalog[op.table]
+            if op.kind == "select":
+                ok = yield from self.tracer.traced(
+                    ctx, "row_search_for_mysql", self._row_search(worker, ctx, op, table)
+                )
+            elif op.kind == "update":
+                ok = yield from self.tracer.traced(
+                    ctx, "row_upd_step", self._row_update(worker, ctx, op, table)
+                )
+            else:
+                ok = yield from self.tracer.traced(
+                    ctx, "row_ins", self._row_insert(worker, ctx, op, table)
+                )
+            if not ok:
+                yield from self.lockmgr.release_all_timed(ctx)
+                return False
+            redo_bytes += table.redo_bytes(op.kind)
+        yield from self.tracer.traced(
+            ctx, "innobase_commit", self._commit(ctx, redo_bytes)
+        )
+        yield from self.lockmgr.release_all_timed(ctx)
+        return True
+
+    # -- statement implementations --------------------------------------
+
+    def _row_search(self, worker, ctx, op, table):
+        yield from self.tracer.traced(
+            ctx,
+            "btr_cur_search_to_nth_level",
+            table.index.search(
+                ctx, op.key, self.pool, dirty=False, backlog=worker.llu_backlog
+            ),
+        )
+        yield Timeout(self.config.row_cpu)
+        if op.lock is not None:
+            ok = yield from self.tracer.traced(
+                ctx, "sel_set_rec_lock", self._sel_set_rec_lock(ctx, op, table)
+            )
+            return ok
+        return True
+
+    def _sel_set_rec_lock(self, ctx, op, table):
+        mode = LockMode.X if op.lock == "X" else LockMode.S
+        ok = yield from self.tracer.traced(
+            ctx,
+            "lock_rec_lock",
+            self._lock_rec_lock(ctx, table.lock_id(op.key), mode, "A"),
+        )
+        return ok
+
+    def _row_update(self, worker, ctx, op, table):
+        ok = yield from self.tracer.traced(
+            ctx,
+            "lock_rec_lock",
+            self._lock_rec_lock(ctx, table.lock_id(op.key), LockMode.X, "B"),
+        )
+        if not ok:
+            return False
+        yield from self.tracer.traced(
+            ctx,
+            "btr_cur_search_to_nth_level",
+            table.index.search(
+                ctx, op.key, self.pool, dirty=True, backlog=worker.llu_backlog
+            ),
+        )
+        yield Timeout(self.config.row_cpu)
+        return True
+
+    def _row_insert(self, worker, ctx, op, table):
+        ok = yield from self.tracer.traced(
+            ctx,
+            "lock_rec_lock",
+            self._lock_rec_lock(ctx, table.lock_id(op.key), LockMode.X, "B"),
+        )
+        if not ok:
+            return False
+        table.inserts += 1
+        yield from self.tracer.traced(
+            ctx,
+            "row_ins_clust_index_entry_low",
+            self._clust_index_insert(worker, ctx, op, table),
+        )
+        return True
+
+    def _clust_index_insert(self, worker, ctx, op, table):
+        yield from self.tracer.traced(
+            ctx,
+            "btr_cur_search_to_nth_level",
+            table.index.search(
+                ctx, op.key, self.pool, dirty=True, backlog=worker.llu_backlog
+            ),
+        )
+        yield from table.index.insert_body(self.rng)
+
+    def _lock_rec_lock(self, ctx, obj_id, mode, site):
+        """Generator: take a record lock; False means abort this attempt."""
+        request = yield from self.lockmgr.request_timed(ctx, obj_id, mode)
+        if request.status is RequestStatus.WAITING:
+            yield from self.tracer.traced(
+                ctx,
+                "lock_wait_suspend_thread",
+                self._lock_wait_suspend(ctx, request, site),
+                site=site,
+            )
+        return request.status is RequestStatus.GRANTED
+
+    def _lock_wait_suspend(self, ctx, request, site):
+        yield from self.tracer.traced(
+            ctx, "os_event_wait", self.lockmgr.wait(request), site=site
+        )
+
+    # -- commit ----------------------------------------------------------
+
+    def _commit(self, ctx, redo_bytes):
+        yield Timeout(self.config.commit_cpu)
+        if redo_bytes == 0:
+            return  # read-only transaction: nothing to make durable
+        yield from self.tracer.traced(
+            ctx, "trx_commit", self.redo.commit(ctx, redo_bytes)
+        )

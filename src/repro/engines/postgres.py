@@ -1,0 +1,258 @@
+"""The simulated Postgres engine (process-per-connection).
+
+Architecture per the paper's Section 4.2 study: backends execute
+statements over a large shared buffer (the 30 GB pool caches the whole
+working set, so buffer contention is not a factor here), take row locks
+through the regular lock manager, register SSI predicate locks as they
+read, and at commit must flush WAL behind the single global
+WALWriteLock — the ``LWLockAcquireOrWait`` call that Table 2 charges
+with 76.8% of overall latency variance.  ``ReleasePredicateLocks`` runs
+at commit with a cost that varies with the number of predicate locks and
+conflicts discovered (the remaining 6%).
+
+Call graph::
+
+    exec_simple_query
+      PortalRun
+        ExecutorRun
+          index_fetch                  (per-statement work)
+          PredicateLockTuple           (selects register SIREAD locks)
+          heap_lock_tuple -> LockAcquireExtended -> ProcSleep
+        CommitTransaction
+          RecordTransactionCommit -> XLogFlush
+            LWLockAcquireOrWait / XLogWrite
+          ReleasePredicateLocks
+
+``parallel_wal=True`` swaps the single WAL stream for the paper's
+two-disk parallel-logging scheme (Section 6.2).
+"""
+
+from repro.core.callgraph import CallGraph
+from repro.engines.base import Engine
+from repro.lockmgr.locks import LockMode
+from repro.lockmgr.manager import LockManager, RequestStatus
+from repro.lockmgr.scheduling import make_scheduler
+from repro.sim.disk import Disk, DiskConfig
+from repro.sim.kernel import Timeout
+from repro.sim.rand import LogNormal
+from repro.storage.tables import TableCatalog
+from repro.wal.pg_wal import ParallelWAL, WALConfig, WALWriter
+
+
+def postgres_callgraph():
+    edges = {
+        "exec_simple_query": ["PortalRun"],
+        "PortalRun": ["ExecutorRun", "CommitTransaction"],
+        "ExecutorRun": ["index_fetch", "PredicateLockTuple", "heap_lock_tuple"],
+        "heap_lock_tuple": ["LockAcquireExtended"],
+        "LockAcquireExtended": ["ProcSleep"],
+        "CommitTransaction": ["RecordTransactionCommit", "ReleasePredicateLocks"],
+        "RecordTransactionCommit": ["XLogFlush"],
+        "XLogFlush": ["LWLockAcquireOrWait", "XLogWrite"],
+    }
+    return CallGraph.from_dict("exec_simple_query", edges)
+
+
+class PostgresConfig:
+    """Engine configuration (times in microseconds)."""
+
+    def __init__(
+        self,
+        scheduler="FCFS",
+        n_workers=64,
+        wal_block_size=8192,
+        parallel_wal=False,
+        row_bytes=800,
+        log_disk=None,
+        statement_cpu=10.0,
+        index_cpu_mean=6.0,
+        index_cpu_cv=0.4,
+        predicate_lock_cpu=0.4,
+        predicate_release_cpu=0.6,
+        predicate_conflict_prob=0.05,
+        predicate_conflict_cpu=40.0,
+        commit_cpu=8.0,
+        lock_wait_timeout=10_000_000.0,
+        max_attempts=12,
+        backoff_range=(500.0, 2000.0),
+    ):
+        self.scheduler = scheduler
+        self.n_workers = n_workers
+        self.wal_block_size = wal_block_size
+        self.parallel_wal = parallel_wal
+        # Full-page-ish WAL records (row images + index entries): TPC-C
+        # on Postgres writes kilobytes of WAL per transaction, which is
+        # what makes the block-size knob (Figure 4 right) matter.
+        self.row_bytes = row_bytes
+        self.log_disk = log_disk or DiskConfig()
+        self.statement_cpu = statement_cpu
+        self.index_cpu_mean = index_cpu_mean
+        self.index_cpu_cv = index_cpu_cv
+        self.predicate_lock_cpu = predicate_lock_cpu
+        self.predicate_release_cpu = predicate_release_cpu
+        self.predicate_conflict_prob = predicate_conflict_prob
+        self.predicate_conflict_cpu = predicate_conflict_cpu
+        self.commit_cpu = commit_cpu
+        self.lock_wait_timeout = lock_wait_timeout
+        self.max_attempts = max_attempts
+        self.backoff_range = backoff_range
+
+
+class PostgresEngine(Engine):
+    name = "postgres"
+
+    def __init__(self, sim, tracer, workload, streams, config=None):
+        self.config = config or PostgresConfig()
+        super().__init__(sim, tracer, self.config.n_workers)
+        self.workload = workload
+        self.catalog = TableCatalog.from_schema(
+            workload.schema, row_bytes=self.config.row_bytes
+        )
+        self.rng = streams.stream("postgres.engine")
+        self.lockmgr = LockManager(
+            sim,
+            make_scheduler(
+                self.config.scheduler, rng=streams.stream("postgres.scheduler")
+            ),
+            wait_timeout=self.config.lock_wait_timeout,
+        )
+        wal_config = WALConfig(block_size=self.config.wal_block_size)
+        if self.config.parallel_wal:
+            disks = [
+                Disk(sim, streams.stream("pg.wal_disk0"), self.config.log_disk, "wal0"),
+                Disk(sim, streams.stream("pg.wal_disk1"), self.config.log_disk, "wal1"),
+            ]
+            self.wal = ParallelWAL(sim, tracer, disks, config=wal_config)
+        else:
+            disk = Disk(sim, streams.stream("pg.wal_disk0"), self.config.log_disk, "wal0")
+            self.wal = WALWriter(sim, tracer, disk, config=wal_config)
+        self._index_cpu = LogNormal(
+            self.config.index_cpu_mean, self.config.index_cpu_cv
+        )
+        self.aborts = 0
+        self.failed_txns = 0
+
+    # ------------------------------------------------------------------
+    # Transaction execution
+    # ------------------------------------------------------------------
+
+    def _execute(self, worker, ctx, spec):
+        tracer = self.tracer
+        tracer.begin_transaction(ctx)
+        committed = False
+        for attempt in range(self.config.max_attempts):
+            if attempt:
+                ctx.attempts += 1
+                lo, hi = self.config.backoff_range
+                yield Timeout(self.rng.uniform(lo, hi))
+            ok = yield from tracer.traced(
+                ctx, "exec_simple_query", self._exec_query(ctx, spec)
+            )
+            if ok:
+                committed = True
+                break
+            self.aborts += 1
+        if not committed:
+            self.failed_txns += 1
+        tracer.end_transaction(ctx, committed)
+
+    def _exec_query(self, ctx, spec):
+        ok = yield from self.tracer.traced(
+            ctx, "PortalRun", self._portal_run(ctx, spec)
+        )
+        return ok
+
+    def _portal_run(self, ctx, spec):
+        predicate_locks = 0
+        redo_bytes = 0
+        for op in spec.ops:
+            table = self.catalog[op.table]
+            ok, locks = yield from self.tracer.traced(
+                ctx, "ExecutorRun", self._executor_run(ctx, op, table)
+            )
+            if not ok:
+                self.lockmgr.release_all(ctx)
+                return False
+            predicate_locks += locks
+            redo_bytes += table.redo_bytes(op.kind)
+        yield from self.tracer.traced(
+            ctx,
+            "CommitTransaction",
+            self._commit_transaction(ctx, redo_bytes, predicate_locks),
+        )
+        self.lockmgr.release_all(ctx)
+        return True
+
+    def _executor_run(self, ctx, op, table):
+        """Generator: one statement.  Evaluates to (ok, predicate_locks)."""
+        yield Timeout(self.config.statement_cpu)
+        yield from self.tracer.traced(ctx, "index_fetch", self._index_fetch())
+        locks = 0
+        if op.kind == "select":
+            # Serializable reads register SIREAD predicate locks.
+            locks = 1
+            yield from self.tracer.traced(
+                ctx, "PredicateLockTuple", self._predicate_lock()
+            )
+        if op.lock is not None or op.kind in ("update", "insert"):
+            mode = LockMode.S if op.lock == "S" else LockMode.X
+            ok = yield from self.tracer.traced(
+                ctx, "heap_lock_tuple", self._heap_lock_tuple(ctx, op, table, mode)
+            )
+            if not ok:
+                return False, locks
+        return True, locks
+
+    def _index_fetch(self):
+        yield Timeout(self._index_cpu.sample(self.rng))
+
+    def _predicate_lock(self):
+        yield Timeout(self.config.predicate_lock_cpu)
+
+    def _heap_lock_tuple(self, ctx, op, table, mode):
+        ok = yield from self.tracer.traced(
+            ctx, "LockAcquireExtended", self._lock_acquire(ctx, table.lock_id(op.key), mode)
+        )
+        return ok
+
+    def _lock_acquire(self, ctx, obj_id, mode):
+        request = self.lockmgr.request(ctx, obj_id, mode)
+        if request.status is RequestStatus.WAITING:
+            yield from self.tracer.traced(
+                ctx, "ProcSleep", self.lockmgr.wait(request)
+            )
+        return request.status is RequestStatus.GRANTED
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+
+    def _commit_transaction(self, ctx, redo_bytes, predicate_locks):
+        yield Timeout(self.config.commit_cpu)
+        if redo_bytes:
+            # Read-only transactions write no commit record and never
+            # touch the WALWriteLock.
+            yield from self.tracer.traced(
+                ctx,
+                "RecordTransactionCommit",
+                self._record_commit(ctx, redo_bytes),
+            )
+        yield from self.tracer.traced(
+            ctx,
+            "ReleasePredicateLocks",
+            self._release_predicate_locks(predicate_locks),
+        )
+
+    def _record_commit(self, ctx, redo_bytes):
+        yield from self.tracer.traced(
+            ctx, "XLogFlush", self.wal.commit(ctx, redo_bytes)
+        )
+
+    def _release_predicate_locks(self, count):
+        """Release SIREAD locks; cost varies with conflicts discovered."""
+        if count == 0:
+            return
+        yield Timeout(count * self.config.predicate_release_cpu)
+        for _ in range(count):
+            if self.rng.random() < self.config.predicate_conflict_prob:
+                yield Timeout(self.config.predicate_conflict_cpu)

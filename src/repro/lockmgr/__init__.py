@@ -1,0 +1,39 @@
+"""Two-phase-locking record lock manager with pluggable scheduling.
+
+This is the substrate the paper's headline contribution (VATS, Section 5)
+plugs into: each database object has a wait queue; when locks are released
+the *scheduler* decides which waiters are granted next.
+
+- :mod:`repro.lockmgr.locks` — lock modes and the compatibility matrix.
+- :mod:`repro.lockmgr.scheduling` — FCFS (the default in MySQL/Postgres),
+  VATS (eldest-first by transaction age), and RS (random order).
+- :mod:`repro.lockmgr.manager` — the lock manager: request/wait/release
+  cycle, the grant pass ("grant as many locks as possible provided a lock
+  does not conflict with any lock in front of it in the queue"), deadlock
+  detection on the waits-for graph, and wait-time accounting.
+"""
+
+from repro.lockmgr.locks import LockMode, compatible
+from repro.lockmgr.manager import LockManager, LockRequest, RequestStatus
+from repro.lockmgr.scheduling import (
+    CATSScheduler,
+    FCFSScheduler,
+    RandomScheduler,
+    Scheduler,
+    VATSScheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "CATSScheduler",
+    "FCFSScheduler",
+    "LockManager",
+    "LockMode",
+    "LockRequest",
+    "RandomScheduler",
+    "RequestStatus",
+    "Scheduler",
+    "VATSScheduler",
+    "compatible",
+    "make_scheduler",
+]

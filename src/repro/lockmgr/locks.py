@@ -1,0 +1,38 @@
+"""Lock modes and compatibility.
+
+Record locks in the simulated engines are shared (S) or exclusive (X),
+the two modes the paper's scheduling discussion uses ("the transaction
+scheduler might choose one of the exclusive requests, or choose one or
+more of the inclusive ones").  The matrix is the classic one: S is
+compatible with S; X conflicts with everything.
+"""
+
+import enum
+
+
+class LockMode(enum.Enum):
+    """Shared (inclusive) or exclusive lock mode."""
+
+    S = "S"
+    X = "X"
+
+    def __repr__(self):
+        return "LockMode.%s" % self.value
+
+
+_COMPAT = {
+    (LockMode.S, LockMode.S): True,
+    (LockMode.S, LockMode.X): False,
+    (LockMode.X, LockMode.S): False,
+    (LockMode.X, LockMode.X): False,
+}
+
+
+def compatible(held, requested):
+    """True if a lock in ``requested`` mode can coexist with ``held``."""
+    return _COMPAT[(held, requested)]
+
+
+def stronger_or_equal(held, requested):
+    """True if holding ``held`` already satisfies a ``requested`` lock."""
+    return held is LockMode.X or requested is LockMode.S

@@ -1,0 +1,71 @@
+"""Deterministic discrete-event simulation substrate.
+
+Every latency-bearing action in the reproduced database engines (disk I/O,
+mutex waits, lock waits, index traversals, queueing) is an event on a
+virtual clock.  This sidesteps CPython's interpreter overhead, which would
+otherwise dominate and distort latency-variance measurements (the reason a
+wall-clock Python reproduction of this paper is infeasible), and makes
+every experiment a pure function of ``(config, seed)``.
+
+Public surface:
+
+- :class:`Simulator`, :class:`Process` — the event loop and its processes
+  (plain generator functions that ``yield`` commands).
+- :class:`Timeout`, :class:`WaitEvent`, :class:`Event` — the commands and
+  the waitable event primitive.
+- :mod:`repro.sim.resources` — :class:`Mutex`, :class:`SpinLock`,
+  :class:`WaitQueue` built on the kernel.
+- :mod:`repro.sim.rand` — named, seeded random streams and latency
+  distributions.
+- :mod:`repro.sim.disk` — a single-server disk model with heavy-tailed
+  flush latency.
+- :mod:`repro.sim.stats` — latency statistics (variance, percentiles,
+  Lp norms, covariance).
+"""
+
+from repro.sim.kernel import (
+    Event,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+    WaitEvent,
+)
+from repro.sim.resources import Mutex, SpinLock, WaitQueue
+from repro.sim.rand import (
+    Constant,
+    Exponential,
+    HeavyTail,
+    LogNormal,
+    Pareto,
+    Streams,
+    Uniform,
+    Zipfian,
+)
+from repro.sim.disk import Disk, DiskConfig
+from repro.sim.stats import LatencySummary, lp_norm, summarize
+
+__all__ = [
+    "Constant",
+    "Disk",
+    "DiskConfig",
+    "Event",
+    "Exponential",
+    "HeavyTail",
+    "LatencySummary",
+    "LogNormal",
+    "Mutex",
+    "Pareto",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "SpinLock",
+    "Streams",
+    "Timeout",
+    "Uniform",
+    "WaitEvent",
+    "WaitQueue",
+    "Zipfian",
+    "lp_norm",
+    "summarize",
+]

@@ -1,0 +1,251 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Simulator` owns a virtual clock (``now``, in microseconds) and a
+priority queue of scheduled wakeups.  Simulated activities are *processes*:
+plain Python generator functions that ``yield`` command objects —
+
+- ``yield Timeout(delay)`` — resume after ``delay`` microseconds of
+  virtual time;
+- ``yield WaitEvent(event)`` — block until ``event`` fires; the yield
+  evaluates to ``True``;
+- ``yield WaitEvent(event, timeout=t)`` — block until the event fires or
+  ``t`` microseconds elapse; evaluates to ``True`` if the event fired,
+  ``False`` on timeout;
+- ``yield event`` — sugar for ``WaitEvent(event)``;
+- ``yield proc`` — sugar for waiting on ``proc.done``.
+
+Sub-calls compose with ``yield from``, so simulated "functions" nest like
+ordinary Python calls.  Determinism: ties in wakeup time are broken by a
+monotonically increasing sequence number, so a run is a pure function of
+the initial configuration and the random seeds.
+"""
+
+from heapq import heappop, heappush
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (e.g. negative delays, re-firing events)."""
+
+
+class Timeout:
+    """Command: resume the yielding process after ``delay`` virtual time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay):
+        if delay < 0:
+            raise SimulationError("Timeout delay must be >= 0, got %r" % (delay,))
+        self.delay = delay
+
+    def __repr__(self):
+        return "Timeout(%r)" % (self.delay,)
+
+
+class WaitEvent:
+    """Command: block on ``event``, optionally bounded by ``timeout``.
+
+    The ``yield`` expression evaluates to ``True`` if the event fired and
+    ``False`` if the timeout elapsed first.  A timed-out waiter is never
+    woken again by a later fire.
+    """
+
+    __slots__ = ("event", "timeout")
+
+    def __init__(self, event, timeout=None):
+        if timeout is not None and timeout < 0:
+            raise SimulationError("WaitEvent timeout must be >= 0, got %r" % (timeout,))
+        self.event = event
+        self.timeout = timeout
+
+    def __repr__(self):
+        return "WaitEvent(%r, timeout=%r)" % (self.event, self.timeout)
+
+
+class _Waiter:
+    """A single parked process; ``active`` guards against double wakeup."""
+
+    __slots__ = ("process", "active")
+
+    def __init__(self, process):
+        self.process = process
+        self.active = True
+
+
+class Event:
+    """A one-shot waitable event.
+
+    Processes park on it via ``yield WaitEvent(event)``; :meth:`fire` wakes
+    all active waiters at the current virtual time and records ``value``.
+    """
+
+    __slots__ = ("sim", "fired", "value", "_waiters")
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.fired = False
+        self.value = None
+        self._waiters = []
+
+    def fire(self, value=None):
+        """Fire the event, waking every process still parked on it."""
+        if self.fired:
+            raise SimulationError("event fired twice")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if waiter.active:
+                waiter.active = False
+                self.sim._schedule(0, waiter.process, True)
+
+    def _add_waiter(self, process):
+        if self.fired:
+            return None
+        waiter = _Waiter(process)
+        self._waiters.append(waiter)
+        return waiter
+
+    def __repr__(self):
+        state = "fired" if self.fired else "pending"
+        return "<Event %s at t=%s>" % (state, self.sim.now)
+
+
+class Process:
+    """A running simulated activity wrapping a generator.
+
+    ``done`` is an :class:`Event` fired with the generator's return value
+    when it finishes.  ``alive`` is True until then.
+    """
+
+    __slots__ = ("sim", "name", "gen", "done")
+
+    def __init__(self, sim, gen, name):
+        self.sim = sim
+        self.name = name
+        self.gen = gen
+        self.done = Event(sim)
+
+    @property
+    def alive(self):
+        return not self.done.fired
+
+    def __repr__(self):
+        state = "alive" if self.alive else "done"
+        return "<Process %s (%s)>" % (self.name, state)
+
+
+class Simulator:
+    """The event loop: a virtual clock plus a heap of scheduled wakeups."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.current = None
+        self._heap = []
+        self._seq = 0
+        self._spawned = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def spawn(self, gen, name=None):
+        """Start ``gen`` as a new process; it first runs at the current time."""
+        if name is None:
+            name = "proc-%d" % self._spawned
+        self._spawned += 1
+        process = Process(self, gen, name)
+        self._schedule(0, process, None)
+        return process
+
+    def event(self):
+        """Create a fresh one-shot :class:`Event` bound to this simulator."""
+        return Event(self)
+
+    def run(self, until=None):
+        """Run until the heap drains or the clock passes ``until``.
+
+        Returns the final virtual time.
+        """
+        heap = self._heap
+        while heap:
+            time, _seq, process, value = heappop(heap)
+            if until is not None and time > until:
+                # Put it back so a later run() continues from here.
+                heappush(heap, (time, _seq, process, value))
+                self.now = until
+                return self.now
+            self.now = time
+            self._resume(process, value)
+        return self.now
+
+    def run_until_idle(self):
+        """Alias of :meth:`run` with no time bound."""
+        return self.run()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _schedule(self, delay, process, value):
+        self._seq += 1
+        heappush(self._heap, (self.now + delay, self._seq, process, value))
+
+    def _schedule_timeout_check(self, delay, waiter):
+        """Arrange for ``waiter`` to be woken with False after ``delay``."""
+        self._seq += 1
+        heappush(self._heap, (self.now + delay, self._seq, _TimeoutCheck(waiter), None))
+
+    def _resume(self, process, value):
+        if isinstance(process, _TimeoutCheck):
+            waiter = process.waiter
+            if waiter.active:
+                waiter.active = False
+                self._resume(waiter.process, False)
+            return
+        if not process.alive:
+            return
+        previous = self.current
+        self.current = process
+        try:
+            command = process.gen.send(value)
+        except StopIteration as stop:
+            self.current = previous
+            process.done.fire(stop.value)
+            return
+        except BaseException:
+            self.current = previous
+            raise
+        self.current = previous
+        self._dispatch(process, command)
+
+    def _dispatch(self, process, command):
+        if isinstance(command, Timeout):
+            self._schedule(command.delay, process, None)
+        elif isinstance(command, WaitEvent):
+            self._wait(process, command.event, command.timeout)
+        elif isinstance(command, Event):
+            self._wait(process, command, None)
+        elif isinstance(command, Process):
+            self._wait(process, command.done, None)
+        else:
+            raise SimulationError(
+                "process %s yielded unsupported command %r" % (process.name, command)
+            )
+
+    def _wait(self, process, event, timeout):
+        waiter = event._add_waiter(process)
+        if waiter is None:
+            # Already fired: resume immediately with True.
+            self._schedule(0, process, True)
+            return
+        if timeout is not None:
+            self._schedule_timeout_check(timeout, waiter)
+
+
+class _TimeoutCheck:
+    """Heap placeholder that wakes a waiter with False if still parked."""
+
+    __slots__ = ("waiter",)
+
+    def __init__(self, waiter):
+        self.waiter = waiter

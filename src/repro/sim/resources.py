@@ -1,0 +1,248 @@
+"""Synchronisation primitives built on the DES kernel.
+
+These model the constructs whose *wait-time variance* the paper studies:
+mutexes (InnoDB's buffer-pool mutex, Postgres's WALWriteLock), spin locks
+with bounded wait (the Lazy-LRU-Update modification), and waitable FIFO
+queues (VoltDB's task queues and the background log-flusher inbox).
+"""
+
+from collections import deque
+
+from repro.sim.kernel import SimulationError, Timeout, WaitEvent
+
+
+class _MutexEntry:
+    """One parked acquirer; ``cancelled`` marks a timed-out spin waiter."""
+
+    __slots__ = ("process", "event", "cancelled")
+
+    def __init__(self, process, event):
+        self.process = process
+        self.event = event
+        self.cancelled = False
+
+
+class Mutex:
+    """A FIFO mutex with explicit hand-off.
+
+    ``yield from mutex.acquire()`` blocks until the mutex is held by the
+    calling process; :meth:`release` hands it to the next non-cancelled
+    waiter.  Wait times are pure queueing delay on the virtual clock.
+    """
+
+    def __init__(self, sim, name="mutex"):
+        self.sim = sim
+        self.name = name
+        self.holder = None
+        self._waiters = deque()
+        # Cumulative contention accounting, used by tests and tuning studies.
+        self.total_waits = 0
+        self.total_wait_time = 0.0
+        self.total_acquisitions = 0
+
+    @property
+    def queue_length(self):
+        return sum(1 for entry in self._waiters if not entry.cancelled)
+
+    def acquire(self):
+        """Generator: block until this process holds the mutex."""
+        process = self.sim.current
+        if self.holder is None:
+            self.holder = process
+            self.total_acquisitions += 1
+            return
+        entry = _MutexEntry(process, self.sim.event())
+        self._waiters.append(entry)
+        started = self.sim.now
+        self.total_waits += 1
+        yield WaitEvent(entry.event)
+        self.total_wait_time += self.sim.now - started
+        self.total_acquisitions += 1
+
+    def try_acquire(self, timeout):
+        """Generator: like :meth:`acquire` but give up after ``timeout``.
+
+        Evaluates to ``True`` if the mutex was acquired, ``False`` if the
+        wait was abandoned.  Used by :class:`SpinLock`.
+        """
+        process = self.sim.current
+        if self.holder is None:
+            self.holder = process
+            self.total_acquisitions += 1
+            return True
+        entry = _MutexEntry(process, self.sim.event())
+        self._waiters.append(entry)
+        started = self.sim.now
+        self.total_waits += 1
+        fired = yield WaitEvent(entry.event, timeout=timeout)
+        self.total_wait_time += self.sim.now - started
+        if not fired:
+            entry.cancelled = True
+            return False
+        self.total_acquisitions += 1
+        return True
+
+    def release(self):
+        """Hand the mutex to the next live waiter, or free it."""
+        if self.holder is None:
+            raise SimulationError("release of unheld mutex %r" % self.name)
+        if self.holder is not self.sim.current:
+            raise SimulationError(
+                "mutex %r released by %r but held by %r"
+                % (self.name, self.sim.current, self.holder)
+            )
+        while self._waiters:
+            entry = self._waiters.popleft()
+            if entry.cancelled:
+                continue
+            self.holder = entry.process
+            entry.event.fire()
+            return
+        self.holder = None
+
+    def __repr__(self):
+        return "<Mutex %s holder=%r waiters=%d>" % (
+            self.name,
+            self.holder,
+            self.queue_length,
+        )
+
+
+class SpinLock:
+    """A mutex acquired by spinning with a bounded wait.
+
+    This models the Lazy-LRU-Update change (Section 6.1): replace the
+    buffer-pool mutex with a spin lock and abandon the wait after
+    ``spin_timeout`` microseconds (paper: 0.01 ms = 10 µs), falling back to
+    a thread-local backlog of deferred LRU updates.
+
+    Spinning costs ``spin_overhead`` of virtual time per acquisition to
+    model the (small) extra CPU burn relative to a sleeping mutex.
+    """
+
+    def __init__(self, sim, name="spinlock", spin_timeout=10.0, spin_overhead=0.05):
+        self.sim = sim
+        self.name = name
+        self.spin_timeout = spin_timeout
+        self.spin_overhead = spin_overhead
+        self._mutex = Mutex(sim, name=name + ".inner")
+        self.timeouts = 0
+
+    @property
+    def holder(self):
+        return self._mutex.holder
+
+    @property
+    def total_acquisitions(self):
+        return self._mutex.total_acquisitions
+
+    def try_acquire(self):
+        """Generator: evaluate to True if acquired within the spin budget."""
+        acquired = yield from self._mutex.try_acquire(self.spin_timeout)
+        if self.spin_overhead:
+            yield Timeout(self.spin_overhead)
+        if not acquired:
+            self.timeouts += 1
+        return acquired
+
+    def acquire(self):
+        """Generator: unbounded acquire (spin until granted)."""
+        yield from self._mutex.acquire()
+
+    def release(self):
+        self._mutex.release()
+
+
+class CoreSet:
+    """A fixed set of CPU cores served FIFO.
+
+    Models the finite processor of the paper's testbed (2 sockets, 16
+    cores): a simulated thread's CPU burst occupies one core for its
+    duration, and when all cores are busy the burst queues.  Near
+    saturation this is what stretches transaction latencies — and
+    therefore lock hold times — the way the paper's hardware did.
+
+    Implemented with per-core busy-until horizons rather than processes:
+    a burst is assigned the earliest-free core, exactly FIFO in arrival
+    order because the event loop is deterministic.
+    """
+
+    def __init__(self, sim, n_cores, name="cpu"):
+        if n_cores < 1:
+            raise ValueError("need at least one core")
+        self.sim = sim
+        self.name = name
+        self.n_cores = n_cores
+        self._busy_until = [0.0] * n_cores
+        self.total_busy = 0.0
+        self.total_bursts = 0
+
+    @property
+    def queue_delay(self):
+        """Delay a burst arriving now would wait before running."""
+        return max(0.0, min(self._busy_until) - self.sim.now)
+
+    def utilization(self, span):
+        """Fraction of core-time used over ``span`` microseconds."""
+        if span <= 0:
+            return 0.0
+        return self.total_busy / (span * self.n_cores)
+
+    def consume(self, cost):
+        """Generator: run a CPU burst of ``cost`` on the earliest-free core."""
+        if cost <= 0:
+            return
+        self.total_bursts += 1
+        self.total_busy += cost
+        index = min(range(self.n_cores), key=self._busy_until.__getitem__)
+        start = max(self.sim.now, self._busy_until[index])
+        self._busy_until[index] = start + cost
+        yield Timeout(self._busy_until[index] - self.sim.now)
+
+
+class WaitQueue:
+    """An unbounded FIFO queue with blocking ``get``.
+
+    Models VoltDB's per-site task queues and the background flusher inbox.
+    ``put`` is immediate; ``yield from queue.get()`` parks until an item is
+    available.  Items are delivered to getters in FIFO order.
+    """
+
+    def __init__(self, sim, name="queue"):
+        self.sim = sim
+        self.name = name
+        self._items = deque()
+        self._getters = deque()
+        # Peak/total accounting for the VoltDB queueing study.
+        self.total_puts = 0
+        self.peak_length = 0
+
+    def __len__(self):
+        return len(self._items)
+
+    def put(self, item):
+        """Enqueue ``item``, waking the longest-waiting getter if any."""
+        self.total_puts += 1
+        if self._getters:
+            event = self._getters.popleft()
+            event.fire(item)
+            return
+        self._items.append(item)
+        if len(self._items) > self.peak_length:
+            self.peak_length = len(self._items)
+
+    def get(self):
+        """Generator: evaluate to the next item, blocking if empty."""
+        if self._items:
+            return self._items.popleft()
+        event = self.sim.event()
+        self._getters.append(event)
+        yield WaitEvent(event)
+        return event.value
+
+    def __repr__(self):
+        return "<WaitQueue %s len=%d getters=%d>" % (
+            self.name,
+            len(self._items),
+            len(self._getters),
+        )

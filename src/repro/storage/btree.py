@@ -1,0 +1,163 @@
+"""A clustered B-tree index cost model.
+
+The tree is modelled by its *shape* (fanout + key count -> depth) rather
+than by materialised nodes: what the variance study needs is (a) the
+number of levels a search descends — each level being a buffer-pool page
+access — and (b) the distribution of insert code paths.  Keys map
+deterministically to leaf pages so that hot keys translate into hot
+pages for the buffer pool.
+
+Insert paths (``row_ins_clust_index_entry_low``):
+
+- *fits in page* (common): cheap body cost;
+- *page split* (probability ~ 1/keys_per_page): allocate + copy halves;
+- *tree reorganisation* (rare): split propagates upward.
+
+These paths give the function the inherent, non-pathological variance
+the paper reports (9.3% of overall variance in the 128-WH config).
+"""
+
+import enum
+import math
+
+from repro.sim.kernel import Timeout
+
+
+class InsertOutcome(enum.Enum):
+    IN_PAGE = "in_page"
+    PAGE_SPLIT = "page_split"
+    TREE_REORG = "tree_reorg"
+
+
+class BTreeIndex:
+    """Index over ``n_keys`` with the given fanout.
+
+    ``page_of(key)`` returns the page id a search for ``key`` lands on;
+    interior levels are represented by a per-level page id so that the
+    (few) interior pages stay hot in the buffer pool.
+    """
+
+    def __init__(
+        self,
+        name,
+        n_keys,
+        fanout=100,
+        keys_per_leaf=64,
+        level_cpu_cost=1.5,
+        insert_cpu_cost=4.0,
+        split_cpu_cost=60.0,
+        reorg_cpu_cost=400.0,
+        split_probability=None,
+        reorg_probability=0.002,
+    ):
+        if n_keys <= 0:
+            raise ValueError("n_keys must be positive")
+        self.name = name
+        self.n_keys = n_keys
+        self.fanout = fanout
+        self.keys_per_leaf = keys_per_leaf
+        self.level_cpu_cost = level_cpu_cost
+        self.insert_cpu_cost = insert_cpu_cost
+        self.split_cpu_cost = split_cpu_cost
+        self.reorg_cpu_cost = reorg_cpu_cost
+        self.split_probability = (
+            split_probability
+            if split_probability is not None
+            else 1.0 / keys_per_leaf
+        )
+        self.reorg_probability = reorg_probability
+        self.n_leaves = max(1, int(math.ceil(n_keys / float(keys_per_leaf))))
+        # Depth counts the levels *above* the leaf level.
+        self.depth = self._compute_depth()
+
+    def _compute_depth(self):
+        depth = 0
+        width = self.n_leaves
+        while width > 1:
+            width = int(math.ceil(width / float(self.fanout)))
+            depth += 1
+        return depth
+
+    # ------------------------------------------------------------------
+    # Page mapping
+    # ------------------------------------------------------------------
+
+    def leaf_page(self, key):
+        """Page id of the leaf holding ``key``."""
+        leaf = (key % self.n_keys) // self.keys_per_leaf
+        return (self.name, "leaf", leaf)
+
+    def interior_pages(self, key):
+        """Page ids of the interior nodes a search for ``key`` descends."""
+        pages = []
+        slot = (key % self.n_keys) // self.keys_per_leaf
+        width = self.n_leaves
+        for level in range(self.depth, 0, -1):
+            width = int(math.ceil(width / float(self.fanout)))
+            slot = slot // self.fanout
+            pages.append((self.name, "int%d" % level, slot))
+        return pages
+
+    def iter_pages(self):
+        """All page ids, interior levels first (they should stay hottest)."""
+        width = self.n_leaves
+        for level in range(self.depth, 0, -1):
+            width_above = int(math.ceil(self.n_leaves / float(self.fanout) ** (self.depth - level + 1)))
+            for slot in range(width_above):
+                yield (self.name, "int%d" % level, slot)
+            width = width_above
+        for leaf in range(self.n_leaves):
+            yield (self.name, "leaf", leaf)
+
+    @property
+    def total_pages(self):
+        """Leaf + interior page count (the table's working-set footprint)."""
+        pages = self.n_leaves
+        width = self.n_leaves
+        while width > 1:
+            width = int(math.ceil(width / float(self.fanout)))
+            pages += width
+        return pages
+
+    # ------------------------------------------------------------------
+    # Traversal / mutation cost generators
+    # ------------------------------------------------------------------
+
+    def search(self, ctx, key, pool, dirty=False, backlog=None):
+        """Generator: descend the tree to ``key``'s leaf.
+
+        Touches one buffer-pool page per level plus the leaf (the caller
+        wraps this in a ``btr_cur_search_to_nth_level`` traced frame).
+        Evaluates to the leaf page id.
+        """
+        for page_id in self.interior_pages(key):
+            yield Timeout(self.level_cpu_cost)
+            yield from pool.fix_page(ctx, page_id, dirty=False, backlog=backlog)
+        yield Timeout(self.level_cpu_cost)
+        leaf = self.leaf_page(key)
+        yield from pool.fix_page(ctx, leaf, dirty=dirty, backlog=backlog)
+        return leaf
+
+    def insert_body(self, rng):
+        """Generator: the variable-path body of a clustered-index insert.
+
+        Evaluates to the :class:`InsertOutcome` taken (the inherent
+        variance of ``row_ins_clust_index_entry_low``).
+        """
+        draw = rng.random()
+        if draw < self.reorg_probability:
+            yield Timeout(self.reorg_cpu_cost)
+            return InsertOutcome.TREE_REORG
+        if draw < self.reorg_probability + self.split_probability:
+            yield Timeout(self.split_cpu_cost)
+            return InsertOutcome.PAGE_SPLIT
+        yield Timeout(self.insert_cpu_cost)
+        return InsertOutcome.IN_PAGE
+
+    def __repr__(self):
+        return "<BTreeIndex %s keys=%d depth=%d pages=%d>" % (
+            self.name,
+            self.n_keys,
+            self.depth,
+            self.total_pages,
+        )

@@ -1,0 +1,20 @@
+"""Variance-aware tuning (Section 6.3 / Appendix B), codified.
+
+The paper observes that several culprit functions TProfiler finds map
+directly onto external tuning parameters: ``buf_pool_mutex_enter`` to
+the buffer-pool size, ``fil_flush`` to ``innodb_flush_log_at_trx_commit``,
+``LWLockAcquireOrWait`` to the WAL block size, and VoltDB's queue wait
+to the worker-thread count.  This package turns those guidelines into a
+programmatic advisor:
+
+- :class:`~repro.tuning.advisor.TuningAdvisor` maps a variance profile
+  (factor shares from TProfiler) to concrete parameter recommendations;
+- :class:`~repro.tuning.sweep.ParameterSweep` runs the corresponding
+  experiment sweep and reports which setting minimises variance without
+  sacrificing mean latency (the paper's "ideal solution" constraint).
+"""
+
+from repro.tuning.advisor import Recommendation, TuningAdvisor
+from repro.tuning.sweep import ParameterSweep, SweepPoint
+
+__all__ = ["ParameterSweep", "Recommendation", "SweepPoint", "TuningAdvisor"]

@@ -1,0 +1,153 @@
+"""Map TProfiler findings to tuning recommendations (Section 6.3).
+
+The advisor encodes the paper's table of culprit-function -> knob
+mappings.  Given a variance profile (``{function_name: share of overall
+variance}``, e.g. from ``VarianceTree.name_shares()``), it emits ranked
+:class:`Recommendation` objects: which parameter to change, in which
+direction, what the paper observed, and what trade-off (if any) the
+change carries.
+"""
+
+
+class Recommendation:
+    """One actionable tuning suggestion."""
+
+    __slots__ = ("factor", "share", "parameter", "action", "rationale", "tradeoff")
+
+    def __init__(self, factor, share, parameter, action, rationale, tradeoff=None):
+        self.factor = factor
+        self.share = share
+        self.parameter = parameter
+        self.action = action
+        self.rationale = rationale
+        self.tradeoff = tradeoff
+
+    def __repr__(self):
+        return "<Recommendation %s -> %s (%.0f%%)>" % (
+            self.factor,
+            self.parameter,
+            100.0 * self.share,
+        )
+
+    def render(self):
+        lines = [
+            "%s accounts for %.1f%% of latency variance" % (self.factor, 100 * self.share),
+            "  -> %s: %s" % (self.parameter, self.action),
+            "     why: %s" % self.rationale,
+        ]
+        if self.tradeoff:
+            lines.append("     trade-off: %s" % self.tradeoff)
+        return "\n".join(lines)
+
+
+# The paper's culprit -> knob table.  Each entry: the parameter it leads
+# to, the action, the rationale, and any durability/capacity trade-off.
+_KNOWN_FACTORS = {
+    "os_event_wait": (
+        "lock scheduling algorithm",
+        "replace FCFS with VATS (eldest transaction first)",
+        "lock-wait variance is a scheduling artifact; VATS minimises the "
+        "Lp norm of latencies without prior knowledge of remaining times "
+        "(Theorem 1) and needs no tuning",
+        None,
+    ),
+    "lock_wait_suspend_thread": (
+        "lock scheduling algorithm",
+        "replace FCFS with VATS (eldest transaction first)",
+        "same finding as os_event_wait, one level up the call chain",
+        None,
+    ),
+    "buf_pool_mutex_enter": (
+        "buffer pool size / LRU policy",
+        "grow the buffer pool toward 100% of the working set, or enable "
+        "Lazy LRU Update (bounded spin + deferred-update backlog)",
+        "the LRU-list mutex is contended only when the working set "
+        "exceeds ~5/8 of the pool, so capacity removes the contention "
+        "and LLU bounds the wait when capacity is not an option",
+        "memory cost; LLU slightly relaxes LRU precision",
+    ),
+    "buf_read_page": (
+        "buffer pool size",
+        "grow the buffer pool (fewer evictions and read-ins)",
+        "miss-path variance scales with eviction traffic",
+        "memory cost",
+    ),
+    "fil_flush": (
+        "innodb_flush_log_at_trx_commit",
+        "defer flushing (lazy flush) or both write+flush (lazy write) to "
+        "the background thread, or move the log to faster stable storage",
+        "eager flushing puts highly variable device latency on every "
+        "commit's critical path",
+        "lazy policies can lose the last ~1 s of commits on a crash",
+    ),
+    "log_write_up_to": (
+        "innodb_flush_log_at_trx_commit",
+        "see fil_flush: lazier flush policy or faster log device",
+        "commit-path log waits inherit the flush device's variance",
+        "durability exposure window",
+    ),
+    "LWLockAcquireOrWait": (
+        "WAL block size / parallel logging",
+        "increase wal_block_size moderately (8K-32K) and/or add a second "
+        "log stream (parallel logging)",
+        "one global WALWriteLock serialises flushes; fewer, larger "
+        "writes and a second stream cut the wait",
+        "block-size benefit reverses when records are much smaller than "
+        "a block (padding)",
+    ),
+    "XLogWrite": (
+        "WAL block size",
+        "increase wal_block_size moderately (8K-32K)",
+        "per-call overhead dominates small-block writes",
+        "padding at large block sizes",
+    ),
+    "[waiting in queue]": (
+        "worker thread count",
+        "increase the number of worker threads until queue waits stop "
+        "improving (diminishing returns past ~8 in the paper's setup)",
+        "queue waiting is pure capacity shortfall; threads are cheap "
+        "relative to tail latency",
+        "more threads increase context-switch overhead eventually",
+    ),
+}
+
+
+class TuningAdvisor:
+    """Rank tuning recommendations from a variance profile."""
+
+    def __init__(self, min_share=0.03):
+        self.min_share = min_share
+
+    def recommend(self, name_shares):
+        """Return :class:`Recommendation` objects, largest share first.
+
+        ``name_shares`` is ``{function_name: share}`` as produced by
+        :meth:`repro.core.variance_tree.VarianceTree.name_shares`.
+        Synthetic body factors (``foo::body``) are folded into ``foo``.
+        """
+        folded = {}
+        for name, share in name_shares.items():
+            base = name[: -len("::body")] if name.endswith("::body") else name
+            folded[base] = max(folded.get(base, 0.0), share)
+        recommendations = []
+        for name, share in folded.items():
+            if share < self.min_share:
+                continue
+            entry = _KNOWN_FACTORS.get(name)
+            if entry is None:
+                continue
+            parameter, action, rationale, tradeoff = entry
+            recommendations.append(
+                Recommendation(name, share, parameter, action, rationale, tradeoff)
+            )
+        recommendations.sort(key=lambda r: -r.share)
+        return recommendations
+
+    def render(self, name_shares):
+        """A human-readable advisory report."""
+        recommendations = self.recommend(name_shares)
+        if not recommendations:
+            return "No actionable variance sources above %.0f%%." % (
+                100.0 * self.min_share
+            )
+        return "\n\n".join(r.render() for r in recommendations)

@@ -1,0 +1,30 @@
+"""Write-ahead logging substrates.
+
+Two models, matching the two engines whose logging the paper studies:
+
+- :mod:`repro.wal.mysql_log` — InnoDB-style redo log with the three
+  ``innodb_flush_log_at_trx_commit`` policies (eager flush, lazy flush,
+  lazy write), group commit, and the traced ``fil_flush`` call whose
+  inherent I/O variance Table 1 reports.
+- :mod:`repro.wal.pg_wal` — Postgres-style WAL: one global WALWriteLock
+  serialises flushes (the ``LWLockAcquireOrWait`` variance source of
+  Table 2, 76.8%), writes happen in whole blocks of a configurable size
+  (the Figure 4-right tuning knob), and
+  :class:`~repro.wal.pg_wal.ParallelWAL` implements the paper's simple
+  two-disk parallel-logging scheme (Section 6.2).
+
+Both track the committed-vs-durable horizon so crash-loss tests can
+verify the lazy policies' forward-progress risk (Appendix B).
+"""
+
+from repro.wal.mysql_log import FlushPolicy, RedoLog, RedoLogConfig
+from repro.wal.pg_wal import ParallelWAL, WALConfig, WALWriter
+
+__all__ = [
+    "FlushPolicy",
+    "ParallelWAL",
+    "RedoLog",
+    "RedoLogConfig",
+    "WALConfig",
+    "WALWriter",
+]

@@ -1,0 +1,189 @@
+"""InnoDB-style redo log with the three commit-durability policies.
+
+MySQL's buffered-I/O redo path has two steps — a ``write`` system call and
+a ``flush`` (fsync) — and ``innodb_flush_log_at_trx_commit`` chooses who
+performs them (Appendix B):
+
+- **eager flush** (``=1``): the transaction's worker writes *and* flushes
+  before reporting commit.  Durable, but the flush's highly variable disk
+  latency lands on the transaction's critical path (``fil_flush`` in
+  Table 1).  Group commit amortises concurrent committers into one flush.
+- **lazy flush** (``=2``): the worker writes; a background flusher thread
+  fsyncs about once per second.  A crash can lose transactions whose logs
+  were written but not yet flushed.
+- **lazy write** (``=0``): both write and flush are deferred to the
+  background thread; cheapest and least durable.
+
+The log tracks ``durable_lsn`` so tests can quantify exactly how much
+forward progress each policy risks (``lost_on_crash``).
+"""
+
+import enum
+
+from repro.sim.kernel import Timeout, WaitEvent
+
+
+class FlushPolicy(enum.Enum):
+    EAGER_FLUSH = "eager_flush"
+    LAZY_FLUSH = "lazy_flush"
+    LAZY_WRITE = "lazy_write"
+
+
+class RedoLogConfig:
+    """Redo log parameters (times in microseconds, sizes in bytes)."""
+
+    def __init__(
+        self,
+        policy=FlushPolicy.EAGER_FLUSH,
+        append_cost=0.5,
+        flusher_interval=1_000_000.0,
+        group_commit=True,
+    ):
+        self.policy = policy
+        self.append_cost = append_cost
+        self.flusher_interval = flusher_interval
+        self.group_commit = group_commit
+
+
+class RedoLog:
+    """The redo log: LSN allocation, commit durability, group commit."""
+
+    def __init__(self, sim, tracer, disk, config=None, name="redo"):
+        self.sim = sim
+        self.tracer = tracer
+        self.disk = disk
+        self.config = config or RedoLogConfig()
+        self.name = name
+        self.current_lsn = 0
+        self.written_lsn = 0
+        self.durable_lsn = 0
+        # Group-commit round state (eager policy).
+        self._flush_in_progress = False
+        self._round_done = None
+        # Commit horizon bookkeeping for crash-loss accounting.
+        self._commits = []  # (lsn, txn_id)
+        self.flush_rounds = 0
+        self.group_sizes = []
+        self._flusher_started = False
+        # Commits reported to the client before their redo was durable —
+        # each one was exposed to a crash for some window (Appendix B's
+        # forward-progress risk of the lazy policies).
+        self.exposed_commits = 0
+
+    # ------------------------------------------------------------------
+    # Transaction-side API
+    # ------------------------------------------------------------------
+
+    def append(self, nbytes):
+        """Reserve log space; returns the record's end LSN."""
+        self.current_lsn += nbytes
+        return self.current_lsn
+
+    def commit(self, ctx, nbytes, txn_id=None):
+        """Generator: make a transaction's redo durable per the policy.
+
+        The traced frame names mirror InnoDB: ``log_write_up_to`` wraps
+        the whole commit wait and ``fil_flush`` wraps the actual fsync.
+        """
+        yield Timeout(self.config.append_cost)
+        lsn = self.append(nbytes)
+        self._maybe_start_flusher()
+        policy = self.config.policy
+        if policy is FlushPolicy.LAZY_WRITE:
+            pass  # both write and flush deferred to the background thread
+        elif policy is FlushPolicy.LAZY_FLUSH:
+            yield from self.disk.write(nbytes)
+            self.written_lsn = max(self.written_lsn, lsn)
+        else:
+            yield from self.tracer.traced(
+                ctx, "log_write_up_to", self._write_up_to(ctx, lsn)
+            )
+        if lsn > self.durable_lsn:
+            self.exposed_commits += 1
+        self._commits.append((lsn, txn_id if txn_id is not None else ctx.txn_id))
+        return lsn
+
+    # ------------------------------------------------------------------
+    # Eager path with group commit
+    # ------------------------------------------------------------------
+
+    def _write_up_to(self, ctx, lsn):
+        while self.durable_lsn < lsn:
+            if self._flush_in_progress:
+                if self.config.group_commit:
+                    # Follower: ride the next leader's flush round.
+                    yield WaitEvent(self._round_done)
+                    continue
+                # Without group commit, queue for the device directly.
+                yield from self.disk.write(lsn - self.written_lsn)
+                self.written_lsn = max(self.written_lsn, lsn)
+                yield from self.tracer.traced(
+                    ctx, "fil_flush", self.disk.flush()
+                )
+                self.durable_lsn = max(self.durable_lsn, lsn)
+                return
+            # Leader: flush everything appended so far.
+            self._flush_in_progress = True
+            self._round_done = self.sim.event()
+            target = self.current_lsn
+            pending = max(0, target - self.written_lsn)
+            if pending:
+                yield from self.disk.write(pending)
+            self.written_lsn = max(self.written_lsn, target)
+            yield from self.tracer.traced(ctx, "fil_flush", self.disk.flush())
+            self.durable_lsn = max(self.durable_lsn, target)
+            self.flush_rounds += 1
+            done, self._round_done = self._round_done, None
+            self._flush_in_progress = False
+            done.fire()
+
+    # ------------------------------------------------------------------
+    # Background flusher (lazy policies)
+    # ------------------------------------------------------------------
+
+    def _maybe_start_flusher(self):
+        if self._flusher_started:
+            return
+        if self.config.policy is FlushPolicy.EAGER_FLUSH:
+            return
+        self._flusher_started = True
+        self.sim.spawn(self._flusher_loop(), name=self.name + ".flusher")
+
+    def _flusher_loop(self):
+        """Background write/flush rounds, one per ``flusher_interval``.
+
+        The thread parks itself (and is restarted by the next commit)
+        after an idle round, so a finished simulation drains instead of
+        ticking forever.
+        """
+        while True:
+            yield Timeout(self.config.flusher_interval)
+            target = self.current_lsn
+            pending_write = max(0, target - self.written_lsn)
+            if pending_write and self.config.policy is FlushPolicy.LAZY_WRITE:
+                yield from self.disk.write(pending_write)
+            self.written_lsn = max(self.written_lsn, target)
+            if self.written_lsn > self.durable_lsn:
+                yield from self.disk.flush()
+                self.durable_lsn = self.written_lsn
+                self.flush_rounds += 1
+            elif self.current_lsn == target:
+                # Idle round and nothing arrived meanwhile: park.
+                self._flusher_started = False
+                return
+
+    # ------------------------------------------------------------------
+    # Crash accounting
+    # ------------------------------------------------------------------
+
+    def lost_on_crash(self):
+        """Transaction ids reported committed but not durable right now."""
+        return [txn_id for lsn, txn_id in self._commits if lsn > self.durable_lsn]
+
+    def __repr__(self):
+        return "<RedoLog %s policy=%s lsn=%d durable=%d>" % (
+            self.name,
+            self.config.policy.value,
+            self.current_lsn,
+            self.durable_lsn,
+        )

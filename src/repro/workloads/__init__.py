@@ -1,0 +1,62 @@
+"""The five OLTP-Bench workloads the paper evaluates (Section 7.1).
+
+Each workload is a transaction-mix generator with the benchmark's schema,
+per-type operation lists, and — crucially for this study — its
+*contention profile*: which rows are hot, which statements take locks,
+and how much work varies between transactions of the same type.
+
+- :mod:`repro.workloads.tpcc` — TPC-C, the paper's representative
+  workload (highly contended: district and warehouse hot rows).
+- :mod:`repro.workloads.seats` — SEATS airline ticketing at scale 50
+  (highly contended: hot flight rows).
+- :mod:`repro.workloads.tatp` — TATP caller-location at scale 10
+  (contended, but less than TPC-C).
+- :mod:`repro.workloads.epinions` — Epinions review site at scale 500
+  (very low contention).
+- :mod:`repro.workloads.ycsb` — YCSB microbenchmark at scale 1200
+  (little or no contention).
+
+:mod:`repro.workloads.driver` provides the OLTP-Bench-style open-loop
+client that sustains a constant offered throughput (the paper's 500
+transactions per second) regardless of server latency.
+"""
+
+from repro.workloads.base import Operation, TxnSpec, Workload
+from repro.workloads.driver import LoadDriver
+from repro.workloads.tpcc import TPCC
+from repro.workloads.seats import SEATS
+from repro.workloads.tatp import TATP
+from repro.workloads.epinions import Epinions
+from repro.workloads.ycsb import YCSB
+
+WORKLOADS = {
+    "tpcc": TPCC,
+    "seats": SEATS,
+    "tatp": TATP,
+    "epinions": Epinions,
+    "ycsb": YCSB,
+}
+
+
+def make_workload(name, **kwargs):
+    """Factory: build a workload by its lowercase benchmark name."""
+    try:
+        cls = WORKLOADS[name.lower()]
+    except KeyError:
+        raise ValueError("unknown workload %r" % (name,)) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "Epinions",
+    "LoadDriver",
+    "Operation",
+    "SEATS",
+    "TATP",
+    "TPCC",
+    "TxnSpec",
+    "WORKLOADS",
+    "Workload",
+    "YCSB",
+    "make_workload",
+]

@@ -1,0 +1,82 @@
+"""Epinions: customer-review website workload, scale factor 500.
+
+Users browse reviews and occasionally write one; reads dominate and
+writes land on essentially distinct rows, so there is very little lock
+contention — the paper uses it (with YCSB) to show VATS is harmless when
+the scheduler has nothing to decide.
+"""
+
+from repro.workloads.base import Operation, Workload
+
+
+class Epinions(Workload):
+    name = "epinions"
+
+    def __init__(self, scale_factor=500, users_per_sf=200, items_per_sf=40):
+        super().__init__()
+        self.scale_factor = scale_factor
+        n_users = scale_factor * users_per_sf
+        n_items = scale_factor * items_per_sf
+        self.schema = {
+            "useracct": n_users,
+            "item": n_items,
+            "review": n_items * 10,
+            "trust": n_users * 5,
+        }
+        self.mix = [
+            ("GetReviewItemById", 25, self._reviews_by_item),
+            ("GetReviewsByUser", 20, self._reviews_by_user),
+            ("GetAverageRatingByTrustedUser", 15, self._avg_rating),
+            ("GetItemAverageRating", 15, self._item_rating),
+            ("GetItemReviewsByTrustedUser", 10, self._item_reviews_trusted),
+            ("UpdateUserName", 5, self._update_user),
+            ("UpdateItemTitle", 5, self._update_item),
+            ("UpdateReviewRating", 5, self._update_review),
+        ]
+        self.finalize()
+
+    def _reviews_by_item(self, rng):
+        item = rng.randrange(self.schema["item"])
+        ops = [Operation("select", "item", item)]
+        for _ in range(10):
+            ops.append(Operation("select", "review", rng.randrange(self.schema["review"])))
+        return ops
+
+    def _reviews_by_user(self, rng):
+        user = rng.randrange(self.schema["useracct"])
+        ops = [Operation("select", "useracct", user)]
+        for _ in range(10):
+            ops.append(Operation("select", "review", rng.randrange(self.schema["review"])))
+        return ops
+
+    def _avg_rating(self, rng):
+        ops = [Operation("select", "useracct", rng.randrange(self.schema["useracct"]))]
+        for _ in range(5):
+            ops.append(Operation("select", "trust", rng.randrange(self.schema["trust"])))
+            ops.append(Operation("select", "review", rng.randrange(self.schema["review"])))
+        return ops
+
+    def _item_rating(self, rng):
+        item = rng.randrange(self.schema["item"])
+        ops = [Operation("select", "item", item)]
+        for _ in range(8):
+            ops.append(Operation("select", "review", rng.randrange(self.schema["review"])))
+        return ops
+
+    def _item_reviews_trusted(self, rng):
+        ops = [
+            Operation("select", "item", rng.randrange(self.schema["item"])),
+            Operation("select", "useracct", rng.randrange(self.schema["useracct"])),
+        ]
+        for _ in range(5):
+            ops.append(Operation("select", "review", rng.randrange(self.schema["review"])))
+        return ops
+
+    def _update_user(self, rng):
+        return [Operation("update", "useracct", rng.randrange(self.schema["useracct"]))]
+
+    def _update_item(self, rng):
+        return [Operation("update", "item", rng.randrange(self.schema["item"]))]
+
+    def _update_review(self, rng):
+        return [Operation("update", "review", rng.randrange(self.schema["review"]))]

@@ -1,0 +1,95 @@
+"""SEATS: airline ticketing (Stonebraker & Pavlo), scale factor 50.
+
+The paper uses SEATS as its second highly contended workload: customers
+search flights and make reservations, and reservation traffic
+concentrates on a small set of *active* flights (departures in the near
+future).  We model that with a Zipfian choice over the flight table, so a
+handful of flight rows absorb most of the X locks.
+"""
+
+from repro.sim.rand import Zipfian
+from repro.workloads.base import Operation, Workload
+
+
+class SEATS(Workload):
+    name = "seats"
+
+    def __init__(self, scale_factor=50, flights_per_sf=10, hot_theta=0.95):
+        super().__init__()
+        self.scale_factor = scale_factor
+        n_flights = max(10, scale_factor * flights_per_sf)
+        n_customers = scale_factor * 1_000
+        n_reservations = n_flights * 100
+        self.schema = {
+            "flight": n_flights,
+            "customer": n_customers,
+            "reservation": n_reservations,
+            "airport": 300,
+        }
+        self._flight_zipf = Zipfian(n_flights, theta=hot_theta)
+        self.mix = [
+            ("FindFlights", 10, self._find_flights),
+            ("FindOpenSeats", 35, self._find_open_seats),
+            ("NewReservation", 20, self._new_reservation),
+            ("UpdateReservation", 15, self._update_reservation),
+            ("UpdateCustomer", 10, self._update_customer),
+            ("DeleteReservation", 10, self._delete_reservation),
+        ]
+        self.finalize()
+
+    def _flight(self, rng):
+        return self._flight_zipf.sample(rng)
+
+    def _find_flights(self, rng):
+        ops = [Operation("select", "airport", rng.randrange(self.schema["airport"]))]
+        for _ in range(5):
+            ops.append(Operation("select", "flight", self._flight(rng)))
+        return ops
+
+    def _find_open_seats(self, rng):
+        f = self._flight(rng)
+        ops = [Operation("select", "flight", f)]
+        for _ in range(10):
+            ops.append(
+                Operation("select", "reservation", rng.randrange(self.schema["reservation"]))
+            )
+        return ops
+
+    def _new_reservation(self, rng):
+        f = self._flight(rng)
+        c = rng.randrange(self.schema["customer"])
+        return [
+            # Seat map check-and-claim: a locking read on the hot flight
+            # row, held to commit.
+            Operation("select", "flight", f, lock="X"),
+            Operation("update", "flight", f),
+            Operation("select", "customer", c),
+            Operation("insert", "reservation", self.fresh_key("reservation")),
+            Operation("update", "customer", c),
+        ]
+
+    def _update_reservation(self, rng):
+        f = self._flight(rng)
+        r = rng.randrange(self.schema["reservation"])
+        return [
+            Operation("select", "reservation", r, lock="X"),
+            Operation("update", "reservation", r),
+            Operation("update", "flight", f),
+        ]
+
+    def _update_customer(self, rng):
+        c = rng.randrange(self.schema["customer"])
+        return [
+            Operation("select", "customer", c, lock="X"),
+            Operation("update", "customer", c),
+        ]
+
+    def _delete_reservation(self, rng):
+        f = self._flight(rng)
+        r = rng.randrange(self.schema["reservation"])
+        return [
+            Operation("select", "reservation", r, lock="X"),
+            Operation("update", "reservation", r),
+            Operation("update", "flight", f),
+            Operation("update", "customer", rng.randrange(self.schema["customer"])),
+        ]

@@ -1,0 +1,78 @@
+"""TATP: the telecom caller-location benchmark, scale factor 10.
+
+TATP is read-dominated (~80% reads in the standard mix) with short
+point transactions; the paper classifies it as contended, but less so
+than TPC-C.  Updates target subscriber rows chosen with a mild Zipfian
+skew (busy subscribers), which generates occasional lock conflicts at
+500 tps without TPC-C's structural hot rows.
+"""
+
+from repro.sim.rand import Zipfian
+from repro.workloads.base import Operation, Workload
+
+
+class TATP(Workload):
+    name = "tatp"
+
+    def __init__(self, scale_factor=10, subscribers_per_sf=10_000, hot_theta=0.8):
+        super().__init__()
+        self.scale_factor = scale_factor
+        n_subscribers = scale_factor * subscribers_per_sf
+        self.schema = {
+            "subscriber": n_subscribers,
+            "access_info": n_subscribers * 2,
+            "special_facility": n_subscribers * 2,
+            "call_forwarding": n_subscribers * 3,
+        }
+        self._sub_zipf = Zipfian(n_subscribers, theta=hot_theta)
+        self.mix = [
+            ("GetSubscriberData", 35, self._get_subscriber_data),
+            ("GetNewDestination", 10, self._get_new_destination),
+            ("GetAccessData", 35, self._get_access_data),
+            ("UpdateSubscriberData", 2, self._update_subscriber_data),
+            ("UpdateLocation", 14, self._update_location),
+            ("InsertCallForwarding", 2, self._insert_call_forwarding),
+            ("DeleteCallForwarding", 2, self._delete_call_forwarding),
+        ]
+        self.finalize()
+
+    def _subscriber(self, rng):
+        return self._sub_zipf.sample(rng)
+
+    def _get_subscriber_data(self, rng):
+        return [Operation("select", "subscriber", self._subscriber(rng))]
+
+    def _get_new_destination(self, rng):
+        s = self._subscriber(rng)
+        return [
+            Operation("select", "special_facility", s * 2),
+            Operation("select", "call_forwarding", s * 3),
+        ]
+
+    def _get_access_data(self, rng):
+        return [Operation("select", "access_info", self._subscriber(rng) * 2)]
+
+    def _update_subscriber_data(self, rng):
+        s = self._subscriber(rng)
+        return [
+            Operation("update", "subscriber", s),
+            Operation("update", "special_facility", s * 2),
+        ]
+
+    def _update_location(self, rng):
+        return [Operation("update", "subscriber", self._subscriber(rng))]
+
+    def _insert_call_forwarding(self, rng):
+        s = self._subscriber(rng)
+        return [
+            Operation("select", "subscriber", s),
+            Operation("select", "special_facility", s * 2, lock="S"),
+            Operation("insert", "call_forwarding", self.fresh_key("call_forwarding")),
+        ]
+
+    def _delete_call_forwarding(self, rng):
+        s = self._subscriber(rng)
+        return [
+            Operation("select", "subscriber", s),
+            Operation("update", "call_forwarding", s * 3),
+        ]

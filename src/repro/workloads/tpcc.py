@@ -1,0 +1,209 @@
+"""TPC-C: the paper's representative contended workload.
+
+Standard five-transaction mix (NewOrder 45%, Payment 43%, OrderStatus 4%,
+Delivery 4%, StockLevel 4%) with the contention structure of the
+OLTP-Bench implementation on MySQL:
+
+- NewOrder takes ``SELECT ... FOR UPDATE`` on its district row (an X lock
+  from a *select* statement — the paper's ``os_event_wait [A]`` call
+  site) and holds it to commit: the district rows (10 per warehouse) are
+  the primary hot spot.
+- Payment updates the warehouse row directly (X from an *update*
+  statement — call site [B]): W rows shared by 43% of transactions.
+- Delivery walks all 10 districts of a warehouse, making it the long,
+  lock-hungry transaction.
+- NewOrder's 5-15 order lines are the benchmark's *inherent* work
+  variance; ``fixed_order_lines`` pins them for the Appendix C.1
+  pure-workload experiment.
+
+Row counts are scaled down from the spec (3000 customers/district ->
+``customers_per_district``) — contention depends on the *hot* row counts
+(W warehouses, 10W districts), which are kept exact, not on the cold
+table sizes.
+"""
+
+from repro.sim.rand import Zipfian
+from repro.workloads.base import Operation, Workload
+
+
+class TPCC(Workload):
+    name = "tpcc"
+
+    ITEMS = 10_000
+
+    def __init__(
+        self,
+        warehouses=128,
+        customers_per_district=300,
+        items_per_warehouse=2_000,
+        fixed_order_lines=None,
+        remote_warehouse_prob=0.01,
+        warehouse_zipf_theta=0.99,
+        item_zipf_theta=0.8,
+        payment_name_scan=10,
+    ):
+        super().__init__()
+        if warehouses < 1:
+            raise ValueError("need at least one warehouse")
+        self.warehouses = warehouses
+        # Warehouse activity is skewed (terminals are not equally busy);
+        # this is the contention-calibration knob that puts the simulated
+        # 128-WH run in the paper's lock-bound regime.  None = uniform.
+        if warehouse_zipf_theta and warehouses > 1:
+            self._warehouse_zipf = Zipfian(warehouses, theta=warehouse_zipf_theta)
+        else:
+            self._warehouse_zipf = None
+        self.payment_name_scan = payment_name_scan
+        # Item popularity is skewed (best-sellers): stock rows of popular
+        # items are locked mid-NewOrder, *after* the district wait, which
+        # is what makes transaction ages diverge from queue-arrival order
+        # — the regime where the scheduling discipline matters.
+        if item_zipf_theta:
+            self._item_zipf = Zipfian(self.ITEMS, theta=item_zipf_theta)
+        else:
+            self._item_zipf = None
+        self.customers_per_district = customers_per_district
+        self.items_per_warehouse = items_per_warehouse
+        self.fixed_order_lines = fixed_order_lines
+        self.remote_warehouse_prob = remote_warehouse_prob
+        w = warehouses
+        self.schema = {
+            "warehouse": w,
+            "district": w * 10,
+            "customer": w * 10 * customers_per_district,
+            "stock": w * items_per_warehouse,
+            "item": self.ITEMS,
+            "orders": w * 10 * customers_per_district,
+            "order_line": w * 10 * customers_per_district * 10,
+            "new_order": w * 10,
+            "history": w * 10 * customers_per_district,
+        }
+        self.mix = [
+            ("NewOrder", 45, self._new_order),
+            ("Payment", 43, self._payment),
+            ("OrderStatus", 4, self._order_status),
+            ("Delivery", 4, self._delivery),
+            ("StockLevel", 4, self._stock_level),
+        ]
+        self.finalize()
+
+    # ------------------------------------------------------------------
+    # Key helpers
+    # ------------------------------------------------------------------
+
+    def _warehouse(self, rng):
+        if self._warehouse_zipf is not None:
+            return self._warehouse_zipf.sample(rng)
+        return rng.randrange(self.warehouses)
+
+    def _district(self, rng, w):
+        return w * 10 + rng.randrange(10)
+
+    def _customer(self, rng, d):
+        return d * self.customers_per_district + rng.randrange(
+            self.customers_per_district
+        )
+
+    def _item(self, rng):
+        if self._item_zipf is not None:
+            return self._item_zipf.sample(rng)
+        return rng.randrange(self.ITEMS)
+
+    def _stock(self, rng, w, item):
+        return w * self.items_per_warehouse + item % self.items_per_warehouse
+
+    # ------------------------------------------------------------------
+    # Transaction makers
+    # ------------------------------------------------------------------
+
+    def _order_line_count(self, rng):
+        if self.fixed_order_lines is not None:
+            return self.fixed_order_lines
+        return rng.randint(5, 15)
+
+    def _new_order(self, rng):
+        w = self._warehouse(rng)
+        d = self._district(rng, w)
+        c = self._customer(rng, d)
+        ops = [
+            Operation("select", "warehouse", w),
+            Operation("select", "customer", c),
+            # SELECT ... FOR UPDATE on the district row (hot!): an X lock
+            # taken from a select statement -> os_event_wait call site A.
+            Operation("select", "district", d, lock="X"),
+            Operation("update", "district", d),
+        ]
+        for _ in range(self._order_line_count(rng)):
+            item = self._item(rng)
+            if rng.random() < self.remote_warehouse_prob and self.warehouses > 1:
+                supply_w = rng.randrange(self.warehouses)
+            else:
+                supply_w = w
+            ops.append(Operation("select", "item", item))
+            ops.append(
+                Operation("select", "stock", self._stock(rng, supply_w, item), lock="X")
+            )
+            ops.append(Operation("update", "stock", self._stock(rng, supply_w, item)))
+            ops.append(
+                Operation("insert", "order_line", self.fresh_key("order_line"))
+            )
+        ops.append(Operation("insert", "orders", self.fresh_key("orders")))
+        # Inserting into NEW_ORDER takes a next-key lock on the district's
+        # insertion point — the classic TPC-C conflict with Delivery,
+        # which locks the same spot while consuming the oldest order.
+        ops.append(Operation("update", "new_order", d))
+        ops.append(Operation("insert", "new_order", self.fresh_key("new_order")))
+        return ops
+
+    def _payment(self, rng):
+        w = self._warehouse(rng)
+        d = self._district(rng, w)
+        c = self._customer(rng, d)
+        ops = [
+            # UPDATE WAREHOUSE ... : X lock from an update statement (site B)
+            Operation("update", "warehouse", w),
+            Operation("update", "district", d),
+        ]
+        if rng.random() < 0.6:
+            # Lookup by last name: a secondary-index range scan over the
+            # namesakes before the update (the expensive Payment variant).
+            for _ in range(self.payment_name_scan):
+                ops.append(Operation("select", "customer", self._customer(rng, d)))
+        ops.append(Operation("update", "customer", c))
+        ops.append(Operation("insert", "history", self.fresh_key("history")))
+        return ops
+
+    def _order_status(self, rng):
+        w = self._warehouse(rng)
+        d = self._district(rng, w)
+        c = self._customer(rng, d)
+        ops = [Operation("select", "customer", c)]
+        for _ in range(rng.randint(5, 15)):
+            ops.append(
+                Operation("select", "order_line", rng.randrange(self.schema["order_line"]))
+            )
+        return ops
+
+    def _delivery(self, rng):
+        w = self._warehouse(rng)
+        ops = []
+        for dd in range(10):
+            d = w * 10 + dd
+            # The oldest NEW_ORDER row per district is found with a
+            # locking select (site A) before being consumed.
+            ops.append(Operation("select", "new_order", d, lock="X"))
+            ops.append(Operation("update", "new_order", d))
+            ops.append(
+                Operation("update", "orders", rng.randrange(self.schema["orders"]))
+            )
+            ops.append(Operation("update", "customer", self._customer(rng, d)))
+        return ops
+
+    def _stock_level(self, rng):
+        w = self._warehouse(rng)
+        d = self._district(rng, w)
+        ops = [Operation("select", "district", d)]
+        for _ in range(20):
+            item = rng.randrange(self.ITEMS)
+            ops.append(Operation("select", "stock", self._stock(rng, w, item)))
+        return ops

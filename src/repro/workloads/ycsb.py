@@ -1,0 +1,58 @@
+"""YCSB: the cloud-serving microbenchmark, scale factor 1200.
+
+Simple single-table point operations over a huge uniform key space —
+with 500 tps spread over ~a million keys there is effectively no lock
+contention, making YCSB the paper's null case: the choice of lock
+scheduling algorithm is immaterial here (Table 4 bottom).
+"""
+
+from repro.sim.rand import Zipfian
+from repro.workloads.base import Operation, Workload
+
+
+class YCSB(Workload):
+    name = "ycsb"
+
+    def __init__(
+        self,
+        scale_factor=1200,
+        rows_per_sf=200,
+        read_fraction=0.5,
+        ops_per_txn=4,
+        zipf_theta=None,
+    ):
+        super().__init__()
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        self.scale_factor = scale_factor
+        n_rows = scale_factor * rows_per_sf
+        self.schema = {"usertable": n_rows}
+        self.read_fraction = read_fraction
+        self.ops_per_txn = ops_per_txn
+        self._zipf = Zipfian(n_rows, theta=zipf_theta) if zipf_theta else None
+        read_weight = int(round(read_fraction * 100))
+        self.mix = [
+            ("ReadRecord", read_weight, self._read_txn),
+            ("UpdateRecord", 100 - read_weight, self._update_txn),
+        ]
+        self.finalize()
+
+    def _key(self, rng):
+        if self._zipf is not None:
+            return self._zipf.sample(rng)
+        return rng.randrange(self.schema["usertable"])
+
+    def _read_txn(self, rng):
+        return [
+            Operation("select", "usertable", self._key(rng))
+            for _ in range(self.ops_per_txn)
+        ]
+
+    def _update_txn(self, rng):
+        ops = []
+        for i in range(self.ops_per_txn):
+            if i % 2 == 0:
+                ops.append(Operation("update", "usertable", self._key(rng)))
+            else:
+                ops.append(Operation("select", "usertable", self._key(rng)))
+        return ops

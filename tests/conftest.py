@@ -1,0 +1,28 @@
+"""Shared fixtures: small deterministic stacks for fast tests."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.rand import Streams
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def streams():
+    return Streams(1234)
+
+
+@pytest.fixture
+def rng(streams):
+    return streams.stream("test")
+
+
+def run_to_completion(sim, *gens):
+    """Spawn every generator and run the simulator dry."""
+    procs = [sim.spawn(g) for g in gens]
+    sim.run()
+    return procs

@@ -1,0 +1,108 @@
+"""B-tree cost model: depth, page mapping, insert paths."""
+
+import random
+
+import pytest
+
+from repro.storage.btree import BTreeIndex, InsertOutcome
+
+
+def test_depth_grows_with_keys():
+    small = BTreeIndex("t", 1000, fanout=10, keys_per_leaf=10)
+    large = BTreeIndex("t", 1_000_000, fanout=10, keys_per_leaf=10)
+    assert large.depth > small.depth
+
+
+def test_single_leaf_has_zero_depth():
+    tiny = BTreeIndex("t", 10, keys_per_leaf=64)
+    assert tiny.depth == 0
+    assert tiny.n_leaves == 1
+
+
+def test_leaf_page_stable_and_partitioned():
+    index = BTreeIndex("t", 10_000, keys_per_leaf=100)
+    assert index.leaf_page(5) == index.leaf_page(5)
+    assert index.leaf_page(0) == index.leaf_page(99)
+    assert index.leaf_page(0) != index.leaf_page(100)
+
+
+def test_interior_pages_count_matches_depth():
+    index = BTreeIndex("t", 1_000_000, fanout=100, keys_per_leaf=100)
+    assert len(index.interior_pages(123)) == index.depth
+
+
+def test_interior_pages_shared_by_nearby_keys():
+    index = BTreeIndex("t", 1_000_000, fanout=100, keys_per_leaf=100)
+    assert index.interior_pages(0) == index.interior_pages(50)
+
+
+def test_total_pages_consistent_with_iter_pages():
+    index = BTreeIndex("t", 123_456, fanout=50, keys_per_leaf=64)
+    pages = list(index.iter_pages())
+    assert len(pages) == index.total_pages
+    assert len(set(pages)) == len(pages)
+
+
+def test_search_pages_are_subset_of_iter_pages():
+    index = BTreeIndex("t", 50_000, fanout=30, keys_per_leaf=64)
+    all_pages = set(index.iter_pages())
+    for key in (0, 1, 777, 49_999):
+        for page in index.interior_pages(key):
+            assert page in all_pages
+        assert index.leaf_page(key) in all_pages
+
+
+def test_insert_outcome_distribution():
+    index = BTreeIndex(
+        "t", 1000, split_probability=0.1, reorg_probability=0.05
+    )
+    rng = random.Random(7)
+    outcomes = []
+
+    def drain(gen):
+        try:
+            while True:
+                next(gen)
+        except StopIteration as stop:
+            return stop.value
+
+    for _ in range(5000):
+        outcomes.append(drain(index.insert_body(rng)))
+    fraction = lambda o: outcomes.count(o) / len(outcomes)
+    assert fraction(InsertOutcome.TREE_REORG) == pytest.approx(0.05, abs=0.02)
+    assert fraction(InsertOutcome.PAGE_SPLIT) == pytest.approx(0.1, abs=0.03)
+    assert fraction(InsertOutcome.IN_PAGE) == pytest.approx(0.85, abs=0.03)
+
+
+def test_insert_body_cost_ordering(sim):
+    """Splits cost more than plain inserts; reorgs cost most — the
+    inherent variance of row_ins_clust_index_entry_low."""
+    index = BTreeIndex("t", 1000)
+    durations = {}
+
+    class FixedRng:
+        def __init__(self, draw):
+            self._draw = draw
+
+        def random(self):
+            return self._draw
+
+    from repro.sim.kernel import Timeout
+
+    def timed(tag, rng):
+        start = sim.now
+        yield from index.insert_body(rng)
+        durations[tag] = sim.now - start
+
+    sim.spawn(timed("reorg", FixedRng(0.0)))
+    sim.run()
+    sim.spawn(timed("split", FixedRng(index.reorg_probability + 1e-9)))
+    sim.run()
+    sim.spawn(timed("plain", FixedRng(0.99)))
+    sim.run()
+    assert durations["reorg"] > durations["split"] > durations["plain"]
+
+
+def test_invalid_key_count():
+    with pytest.raises(ValueError):
+        BTreeIndex("t", 0)

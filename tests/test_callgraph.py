@@ -1,0 +1,105 @@
+"""Static call-graph registry: heights, navigation, expanded counts."""
+
+import pytest
+
+from repro.core.callgraph import CallGraph
+
+
+@pytest.fixture
+def simple_graph():
+    return CallGraph.from_dict(
+        "root",
+        {
+            "root": ["mid1", "mid2"],
+            "mid1": ["leaf1", "leaf2"],
+            "mid2": ["leaf2"],
+        },
+    )
+
+
+def test_heights(simple_graph):
+    assert simple_graph.height("leaf1") == 0
+    assert simple_graph.height("leaf2") == 0
+    assert simple_graph.height("mid1") == 1
+    assert simple_graph.height("root") == 2
+    assert simple_graph.graph_height == 2
+
+
+def test_children_and_parents(simple_graph):
+    assert simple_graph.children("root") == ["mid1", "mid2"]
+    assert set(simple_graph.parents("leaf2")) == {"mid1", "mid2"}
+
+
+def test_is_leaf(simple_graph):
+    assert simple_graph.is_leaf("leaf1")
+    assert not simple_graph.is_leaf("mid1")
+
+
+def test_contains(simple_graph):
+    assert "mid1" in simple_graph
+    assert "nonexistent" not in simple_graph
+
+
+def test_descendants(simple_graph):
+    assert simple_graph.descendants("root") == {"mid1", "mid2", "leaf1", "leaf2"}
+    assert simple_graph.descendants("mid2") == {"leaf2"}
+    assert simple_graph.descendants("leaf1") == set()
+
+
+def test_duplicate_edge_ignored():
+    graph = CallGraph("r")
+    graph.add_edge("r", "a")
+    graph.add_edge("r", "a")
+    assert graph.children("r") == ["a"]
+
+
+def test_cycle_detected():
+    graph = CallGraph("r")
+    graph.add_edge("r", "a")
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "a")
+    with pytest.raises(ValueError):
+        graph.height("r")
+
+
+def test_height_cache_invalidated_on_mutation(simple_graph):
+    assert simple_graph.height("root") == 2
+    simple_graph.add_edge("leaf1", "deeper")
+    assert simple_graph.height("root") == 3
+    assert simple_graph.height("deeper") == 0
+
+
+def test_expanded_tree_counts_linear_chain():
+    graph = CallGraph.from_dict("a", {"a": ["b"], "b": ["c"]})
+    total, leaves = graph.expanded_tree_counts()
+    assert total == 3
+    assert leaves == 1
+
+
+def test_expanded_tree_counts_diamond():
+    # a -> b, c; b -> d; c -> d: two paths to d, so 5 expanded nodes.
+    graph = CallGraph.from_dict("a", {"a": ["b", "c"], "b": ["d"], "c": ["d"]})
+    total, leaves = graph.expanded_tree_counts()
+    assert total == 5
+    assert leaves == 2
+
+
+def test_expanded_tree_counts_exponential_growth():
+    """A k-layer diamond stack has 2^k paths — how MySQL's 30K functions
+    become the paper's 2e15 expanded nodes."""
+    edges = {}
+    prev = "L0"
+    for i in range(20):
+        a, b, nxt = "A%d" % i, "B%d" % i, "L%d" % (i + 1)
+        edges.setdefault(prev, []).extend([a, b])
+        edges[a] = [nxt]
+        edges[b] = [nxt]
+        prev = nxt
+    graph = CallGraph.from_dict("L0", edges)
+    total, leaves = graph.expanded_tree_counts()
+    assert leaves == 2**20
+    assert total > 2**20
+
+
+def test_functions_listing(simple_graph):
+    assert set(simple_graph.functions) == {"root", "mid1", "mid2", "leaf1", "leaf2"}

@@ -1,0 +1,111 @@
+"""The CATS extension scheduler (contention-aware, the authors'
+follow-up work)."""
+
+import pytest
+
+from repro.core.annotations import TransactionContext
+from repro.lockmgr.locks import LockMode
+from repro.lockmgr.manager import LockManager
+from repro.lockmgr.scheduling import CATSScheduler, make_scheduler
+from repro.sim.kernel import Timeout
+
+
+def test_factory_builds_cats():
+    scheduler = make_scheduler("cats")
+    assert scheduler.name == "CATS"
+    assert scheduler.head_placement
+
+
+def test_manager_binds_itself():
+    from repro.sim.kernel import Simulator
+
+    sim = Simulator()
+    scheduler = CATSScheduler()
+    manager = LockManager(sim, scheduler)
+    assert scheduler._manager is manager
+
+
+def test_cats_prefers_heavier_lock_holder(sim):
+    """Between two waiters, the one holding more locks elsewhere (and
+    therefore blocking more downstream work) is granted first."""
+    lm = LockManager(sim, make_scheduler("cats"))
+    order = []
+
+    def holder():
+        ctx = TransactionContext(sim, "holder", "t")
+        ctx.begin()
+        yield from lm.acquire(ctx, "hot", LockMode.X)
+        yield Timeout(50.0)
+        lm.release_all(ctx)
+
+    def light(tid, arrive):
+        yield Timeout(arrive)
+        ctx = TransactionContext(sim, tid, "t")
+        ctx.begin()
+        yield from lm.acquire(ctx, "hot", LockMode.X)
+        order.append(tid)
+        yield Timeout(1.0)
+        lm.release_all(ctx)
+
+    def heavy(tid, arrive):
+        yield Timeout(arrive)
+        ctx = TransactionContext(sim, tid, "t")
+        ctx.begin()
+        for i in range(5):
+            yield from lm.acquire(ctx, "side%d" % i, LockMode.X)
+        yield from lm.acquire(ctx, "hot", LockMode.X)
+        order.append(tid)
+        yield Timeout(1.0)
+        lm.release_all(ctx)
+
+    sim.spawn(holder())
+    sim.spawn(light("light", 1.0))   # arrives first, holds nothing
+    sim.spawn(heavy("heavy", 2.0))   # arrives later, holds 5 locks
+    sim.run()
+    assert order == ["heavy", "light"]
+
+
+def test_cats_falls_back_to_eldest_on_ties(sim):
+    lm = LockManager(sim, make_scheduler("cats"))
+    order = []
+
+    def holder():
+        ctx = TransactionContext(sim, "holder", "t")
+        ctx.begin()
+        yield from lm.acquire(ctx, "hot", LockMode.X)
+        yield Timeout(50.0)
+        lm.release_all(ctx)
+
+    def waiter(tid, arrive, birth):
+        yield Timeout(arrive)
+        ctx = TransactionContext(sim, tid, "t", birth=birth)
+        ctx.begin()
+        yield from lm.acquire(ctx, "hot", LockMode.X)
+        order.append(tid)
+        yield Timeout(1.0)
+        lm.release_all(ctx)
+
+    sim.spawn(holder())
+    sim.spawn(waiter("younger", 1.0, birth=10.0))
+    sim.spawn(waiter("elder", 2.0, birth=0.0))
+    sim.run()
+    assert order == ["elder", "younger"]
+
+
+def test_cats_runs_full_engine():
+    from repro.bench.runner import ExperimentConfig, run_experiment
+    from repro.engines.mysql import MySQLConfig
+
+    config = ExperimentConfig(
+        engine="mysql",
+        workload="tpcc",
+        workload_kwargs={"warehouses": 8},
+        engine_config=MySQLConfig(scheduler="CATS"),
+        seed=9,
+        n_txns=300,
+        rate_tps=500.0,
+        warmup_fraction=0.0,
+    )
+    result = run_experiment(config)
+    assert len(result.log) == 300
+    assert result.engine.failed_txns == 0

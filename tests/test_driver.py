@@ -1,0 +1,111 @@
+"""The open-loop constant-rate load driver."""
+
+import pytest
+
+from repro.engines.base import Engine
+from repro.sim.kernel import Simulator, Timeout
+from repro.sim.rand import Streams
+from repro.workloads import make_workload
+from repro.workloads.driver import LoadDriver
+
+
+class RecordingEngine(Engine):
+    """Captures submissions instead of executing them."""
+
+    name = "recording"
+
+    def __init__(self, sim, service=0.0):
+        self.submissions = []
+        self.service = service
+        super().__init__(sim, tracer=None, n_workers=4)
+
+    def submit(self, ctx, spec):
+        self.submissions.append((self.sim.now, ctx, spec))
+        super().submit(ctx, spec)
+
+    def _execute(self, worker, ctx, spec):
+        if self.service:
+            yield Timeout(self.service)
+        else:
+            yield Timeout(0.0)
+
+
+def test_driver_submits_exact_count(sim, streams):
+    engine = RecordingEngine(sim)
+    workload = make_workload("ycsb", scale_factor=1)
+    driver = LoadDriver(sim, engine, workload, streams, rate_tps=1000.0, n_txns=50)
+    driver.start()
+    sim.run()
+    assert driver.submitted == 50
+    assert len(engine.submissions) == 50
+
+
+def test_interarrival_matches_rate(sim, streams):
+    engine = RecordingEngine(sim)
+    workload = make_workload("ycsb", scale_factor=1)
+    driver = LoadDriver(
+        sim, engine, workload, streams, rate_tps=500.0, n_txns=100, jitter_fraction=0.0
+    )
+    driver.start()
+    sim.run()
+    times = [t for t, _ctx, _spec in engine.submissions]
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert all(g == pytest.approx(2000.0) for g in gaps)
+
+
+def test_jitter_stays_within_fraction(sim, streams):
+    engine = RecordingEngine(sim)
+    workload = make_workload("ycsb", scale_factor=1)
+    driver = LoadDriver(
+        sim, engine, workload, streams, rate_tps=500.0, n_txns=200, jitter_fraction=0.1
+    )
+    driver.start()
+    sim.run()
+    times = [t for t, _ctx, _spec in engine.submissions]
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert all(1800.0 - 1e-9 <= g <= 2200.0 + 1e-9 for g in gaps)
+    assert len(set(round(g, 3) for g in gaps)) > 10  # actually jittered
+
+
+def test_open_loop_independent_of_server_speed(sim, streams):
+    """Arrivals keep coming even when the server is slow (open loop)."""
+    engine = RecordingEngine(sim, service=1e6)  # 1s per txn, 4 workers
+    workload = make_workload("ycsb", scale_factor=1)
+    driver = LoadDriver(
+        sim, engine, workload, streams, rate_tps=1000.0, n_txns=30, jitter_fraction=0.0
+    )
+    driver.start()
+    sim.run(until=31_000.0)
+    assert len(engine.submissions) == 30
+
+
+def test_ctx_birth_is_submission_time(sim, streams):
+    engine = RecordingEngine(sim)
+    workload = make_workload("ycsb", scale_factor=1)
+    driver = LoadDriver(sim, engine, workload, streams, rate_tps=500.0, n_txns=10)
+    driver.start()
+    sim.run()
+    for t, ctx, _spec in engine.submissions:
+        assert ctx.birth == t
+
+
+def test_txn_ids_sequential(sim, streams):
+    engine = RecordingEngine(sim)
+    workload = make_workload("ycsb", scale_factor=1)
+    LoadDriver(sim, engine, workload, streams, rate_tps=500.0, n_txns=10).start()
+    sim.run()
+    assert [ctx.txn_id for _t, ctx, _s in engine.submissions] == list(range(10))
+
+
+def test_invalid_rate_rejected(sim, streams):
+    engine = RecordingEngine(sim)
+    workload = make_workload("ycsb", scale_factor=1)
+    with pytest.raises(ValueError):
+        LoadDriver(sim, engine, workload, streams, rate_tps=0.0)
+
+
+def test_submit_after_drain_rejected(sim, streams):
+    engine = RecordingEngine(sim)
+    engine.drain()
+    with pytest.raises(RuntimeError):
+        engine.submit(object(), object())

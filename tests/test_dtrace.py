@@ -1,0 +1,55 @@
+"""The DTrace-style baseline and the overhead experiment (Figure 5)."""
+
+import pytest
+
+from repro.core.dtrace import (
+    DTRACE_PROBE_COST,
+    TPROFILER_PROBE_COST,
+    overhead_experiment,
+)
+from repro.core.profiler import ProfiledSystem
+from tests.test_profiler import SyntheticSystem
+
+
+class TimedSyntheticSystem(SyntheticSystem):
+    """Synthetic system whose traces reflect probe cost in latency."""
+
+    def run(self, instrumented, probe_cost):
+        log = super().run(instrumented, probe_cost)
+        if probe_cost:
+            # Each instrumented function fires entry+exit once per txn.
+            extra = 2.0 * probe_cost * len(instrumented)
+            for trace in log.traces:
+                trace.end += extra
+        return log
+
+
+def test_probe_cost_constants_ordering():
+    """Source probes must be orders of magnitude cheaper than binary
+    rewriting probes."""
+    assert DTRACE_PROBE_COST > 50 * TPROFILER_PROBE_COST
+
+
+def test_overhead_grows_with_children():
+    system = TimedSyntheticSystem(n_txns=100)
+    rows = overhead_experiment(system, (1, 2, 3), probe_cost=5.0)
+    overheads = [lat for _n, lat, _tp in rows]
+    assert overheads == sorted(overheads)
+    assert overheads[-1] > 0
+
+
+def test_dtrace_overhead_exceeds_tprofiler():
+    system = TimedSyntheticSystem(n_txns=100)
+    tprof = overhead_experiment(system, (1, 3), TPROFILER_PROBE_COST)
+    dtrace = overhead_experiment(system, (1, 3), DTRACE_PROBE_COST)
+    for (n, t_lat, _), (_, d_lat, _) in zip(tprof, dtrace):
+        assert d_lat > t_lat
+
+
+def test_throughput_overhead_reported():
+    system = TimedSyntheticSystem(n_txns=100)
+    rows = overhead_experiment(system, (2,), probe_cost=10.0)
+    (_n, lat_overhead, tput_overhead), = rows
+    assert lat_overhead > 0
+    # Throughput overhead defined as 1 - instrumented/baseline.
+    assert -1.0 < tput_overhead < 1.0

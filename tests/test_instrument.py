@@ -1,0 +1,152 @@
+"""The automatic source instrumenter (Section 3.1's rewrite step)."""
+
+import textwrap
+
+import pytest
+
+from repro.core.annotations import TransactionContext, TransactionLog
+from repro.core.callgraph import CallGraph
+from repro.core.instrument import (
+    IMPL_PREFIX,
+    SourceInstrumenter,
+    set_tracer,
+)
+from repro.core.tracing import Tracer
+from repro.sim.kernel import Simulator
+
+
+ENGINE_SOURCE = textwrap.dedent(
+    """
+    from repro.sim.kernel import Timeout
+
+
+    def handle_query(ctx, amount):
+        yield from parse(ctx)
+        yield from execute(ctx, amount)
+        return "done"
+
+
+    def parse(ctx):
+        yield Timeout(2.0)
+
+
+    def execute(ctx, amount):
+        yield Timeout(amount)
+
+
+    def helper_without_ctx(value):
+        return value * 2
+
+
+    def not_in_graph(ctx):
+        yield Timeout(1.0)
+    """
+)
+
+
+@pytest.fixture
+def callgraph():
+    return CallGraph.from_dict(
+        "handle_query", {"handle_query": ["parse", "execute"]}
+    )
+
+
+@pytest.fixture
+def instrumented_module(callgraph):
+    instrumenter = SourceInstrumenter(callgraph)
+    return instrumenter, instrumenter.instrument_module_source(
+        ENGINE_SOURCE, "toy_engine"
+    )
+
+
+def test_wraps_only_graph_generator_ctx_functions(instrumented_module):
+    instrumenter, _module = instrumented_module
+    assert set(instrumenter.instrumented_functions) == {
+        "handle_query",
+        "parse",
+        "execute",
+    }
+
+
+def test_impl_aliases_created(instrumented_module):
+    _instrumenter, module = instrumented_module
+    assert hasattr(module, IMPL_PREFIX + "parse")
+    assert hasattr(module, "parse")
+    assert not hasattr(module, IMPL_PREFIX + "not_in_graph")
+
+
+def test_runs_without_tracer_attached(instrumented_module):
+    """Before a tracer is attached, the passthrough must be semantically
+    transparent (zero overhead on behaviour)."""
+    _instrumenter, module = instrumented_module
+    sim = Simulator()
+    ctx = TransactionContext(sim, 1, "t")
+    out = {}
+
+    def proc():
+        out["result"] = yield from module.handle_query(ctx, 5.0)
+
+    sim.spawn(proc())
+    sim.run()
+    assert out["result"] == "done"
+    assert sim.now == 7.0
+    assert ctx.durations == {}
+
+
+def test_records_with_real_tracer(instrumented_module, callgraph):
+    _instrumenter, module = instrumented_module
+    sim = Simulator()
+    tracer = Tracer(
+        sim,
+        callgraph,
+        instrumented={"handle_query", "execute"},
+        log=TransactionLog(),
+    )
+    set_tracer(module, tracer)
+    ctx = TransactionContext(sim, 1, "t")
+
+    def proc():
+        tracer.begin_transaction(ctx)
+        yield from module.handle_query(ctx, 5.0)
+        tracer.end_transaction(ctx)
+
+    sim.spawn(proc())
+    sim.run()
+    assert ctx.durations[("handle_query", "<root>")] == 7.0
+    assert ctx.durations[("execute", "handle_query")] == 5.0
+    # parse was rewritten but is not in the tracer's selected subset.
+    assert ("parse", "handle_query") not in ctx.durations
+
+
+def test_selective_subset_still_selective(instrumented_module, callgraph):
+    """The rewrite wraps everything once; the *runtime* subset still
+    controls which functions record — TProfiler's low-overhead property."""
+    _instrumenter, module = instrumented_module
+    sim = Simulator()
+    tracer = Tracer(sim, callgraph, instrumented=set(), log=TransactionLog())
+    set_tracer(module, tracer)
+    ctx = TransactionContext(sim, 1, "t")
+
+    def proc():
+        yield from module.handle_query(ctx, 3.0)
+
+    sim.spawn(proc())
+    sim.run()
+    assert ctx.durations == {}
+
+
+def test_source_rewrite_is_idempotent(callgraph):
+    instrumenter = SourceInstrumenter(callgraph)
+    once = instrumenter.instrument_source(ENGINE_SOURCE)
+    twice = SourceInstrumenter(callgraph).instrument_source(once)
+    # Second pass finds the originals already renamed and wrapped: the
+    # wrapper functions are generators with a ctx arg and graph names, so
+    # they get wrapped again — guard: impl aliases are never re-wrapped.
+    assert IMPL_PREFIX + IMPL_PREFIX not in twice
+
+
+def test_non_generator_and_non_ctx_functions_untouched(callgraph):
+    instrumenter = SourceInstrumenter(callgraph)
+    transformed = instrumenter.instrument_source(ENGINE_SOURCE)
+    assert "def helper_without_ctx(value):" in transformed
+    assert "def not_in_graph(ctx):" in transformed

@@ -1,0 +1,120 @@
+"""Full-stack integration: miniature versions of the paper's headline
+experiments, asserting directions (who wins), not magnitudes."""
+
+import pytest
+
+from repro.bench import paperconfig as pc
+from repro.bench.compare import ratios
+from repro.bench.profiled import EngineProfiledSystem
+from repro.bench.runner import run_experiment
+from repro.core.profiler import TProfiler
+
+# Miniature run length: big enough for stable direction, small enough
+# for the test suite.  The full-size runs live in benchmarks/.
+N = 1500
+
+
+@pytest.fixture(scope="module")
+def mysql_fcfs():
+    return run_experiment(pc.mysql_128wh_experiment("FCFS", n_txns=N))
+
+
+@pytest.fixture(scope="module")
+def mysql_vats():
+    return run_experiment(pc.mysql_128wh_experiment("VATS", n_txns=N))
+
+
+class TestContendedMySQL:
+    def test_sustains_offered_load(self, mysql_fcfs):
+        assert mysql_fcfs.throughput_tps == pytest.approx(500.0, rel=0.2)
+
+    def test_baseline_is_unpredictable(self, mysql_fcfs):
+        """Appendix C.1 direction: p99 is many times the mean."""
+        s = mysql_fcfs.summary
+        assert s.p99 > 3.0 * s.mean
+
+    def test_vats_does_not_hurt_throughput(self, mysql_fcfs, mysql_vats):
+        assert mysql_vats.throughput_tps >= 0.95 * mysql_fcfs.throughput_tps
+
+    def test_vats_not_worse_on_mean(self, mysql_fcfs, mysql_vats):
+        r = ratios(mysql_fcfs.latencies, mysql_vats.latencies)
+        assert r["mean"] > 0.9
+
+    def test_lock_waits_present_under_contention(self, mysql_fcfs):
+        assert mysql_fcfs.engine.lockmgr.total_waits > 50
+
+
+class TestNoContentionWorkloads:
+    @pytest.mark.parametrize("workload", ["ycsb", "epinions"])
+    def test_scheduling_immaterial_without_contention(self, workload):
+        """Table 4 bottom: FCFS vs VATS within noise on uncontended
+        workloads."""
+        fcfs = run_experiment(
+            pc.mysql_workload_experiment(workload, "FCFS", n_txns=800)
+        )
+        vats = run_experiment(
+            pc.mysql_workload_experiment(workload, "VATS", n_txns=800)
+        )
+        assert fcfs.engine.lockmgr.total_waits < 20
+        r = ratios(fcfs.latencies, vats.latencies)
+        assert 0.8 < r["mean"] < 1.25
+
+
+class TestLLUIntegration:
+    def test_llu_reduces_mutex_wait_time(self):
+        base = run_experiment(pc.mysql_2wh_experiment(lazy_lru=False, n_txns=1200))
+        llu = run_experiment(pc.mysql_2wh_experiment(lazy_lru=True, n_txns=1200))
+        base_mutex = base.engine.pool.mutex
+        llu_pool = llu.engine.pool
+        assert llu_pool.llu_deferrals > 0
+        r = ratios(base.latencies, llu.latencies)
+        assert r["variance"] > 0.95  # never meaningfully worse
+
+    def test_memory_pressure_present(self):
+        result = run_experiment(pc.mysql_2wh_experiment(n_txns=800))
+        pool = result.engine.pool
+        assert pool.hit_ratio < 0.97
+        assert pool.evictions > 500
+
+
+class TestPostgresIntegration:
+    def test_wal_lock_dominates_variance(self):
+        system = EngineProfiledSystem(pc.postgres_experiment(n_txns=1200))
+        result = TProfiler(system, k=4, max_iterations=6).profile()
+        shares = result.tree.name_shares()
+        assert shares.get("LWLockAcquireOrWait", 0.0) > 0.3
+        assert shares.get("LWLockAcquireOrWait", 0.0) > shares.get(
+            "ReleasePredicateLocks", 0.0
+        )
+
+    def test_parallel_logging_improves_mean(self):
+        single = run_experiment(pc.postgres_experiment(parallel_wal=False, n_txns=1500))
+        parallel = run_experiment(pc.postgres_experiment(parallel_wal=True, n_txns=1500))
+        r = ratios(single.latencies, parallel.latencies)
+        assert r["mean"] > 1.2
+
+
+class TestVoltDBIntegration:
+    def test_queue_wait_dominates_variance(self):
+        system = EngineProfiledSystem(pc.voltdb_experiment(n_txns=1200))
+        result = TProfiler(system, k=3, max_iterations=5).profile()
+        shares = result.tree.name_shares()
+        assert shares.get("[waiting in queue]", 0.0) > 0.5
+
+    def test_more_workers_more_predictable(self):
+        two = run_experiment(pc.voltdb_experiment(n_workers=2, n_txns=1200))
+        eight = run_experiment(pc.voltdb_experiment(n_workers=8, n_txns=1200))
+        r = ratios(two.latencies, eight.latencies)
+        assert r["mean"] > 1.5
+        assert r["variance"] > 1.5
+
+
+class TestProfilerIntegration:
+    def test_mysql_128wh_profile_finds_lock_waits(self):
+        system = EngineProfiledSystem(pc.mysql_128wh_experiment(n_txns=1200))
+        result = TProfiler(system, k=5, max_iterations=8).profile()
+        shares = result.tree.name_shares()
+        assert shares.get("os_event_wait", 0.0) > 0.25
+        # Informative deep factors outrank the root in score order.
+        top_names = [row.name for row in result.top(6)]
+        assert "do_command" not in top_names

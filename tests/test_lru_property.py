@@ -1,0 +1,96 @@
+"""Property-based tests of the young/old LRU invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.bufferpool.lru import LRUList
+
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["insert", "touch", "evict"]), st.integers(0, 30)),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(operations=ops, capacity=st.integers(min_value=2, max_value=20))
+def test_lru_invariants_under_random_workload(operations, capacity):
+    lru = LRUList(capacity)
+    resident = set()
+    for op, page in operations:
+        if op == "insert":
+            if page in resident or len(resident) >= capacity:
+                continue
+            lru.insert_old(page)
+            resident.add(page)
+        elif op == "touch":
+            if page not in resident:
+                continue
+            if lru.needs_make_young(page):
+                lru.make_young(page)
+        else:  # evict
+            victim = lru.victim()
+            if victim is None:
+                continue
+            lru.remove(victim)
+            resident.discard(victim)
+        # Invariants after every operation:
+        assert len(lru) == len(resident)
+        assert len(lru) <= capacity
+        young, old = set(lru.young_pages), set(lru.old_pages)
+        assert young | old == resident
+        assert young & old == set()
+        # The old sublist tracks its target within rebalancing slack.
+        assert len(old) <= lru.old_target + 1
+        # A victim, when one exists, is never a young-head page.
+        if resident:
+            assert lru.victim() in resident
+
+
+class LRUMachine(RuleBasedStateMachine):
+    """Stateful exploration of the LRU against a reference resident set."""
+
+    def __init__(self):
+        super().__init__()
+        self.lru = LRUList(8)
+        self.resident = set()
+        self.counter = 0
+
+    @rule()
+    def insert_fresh(self):
+        if len(self.resident) >= 8:
+            return
+        self.counter += 1
+        page = "p%d" % self.counter
+        self.lru.insert_old(page)
+        self.resident.add(page)
+
+    @rule(data=st.data())
+    def touch(self, data):
+        if not self.resident:
+            return
+        page = data.draw(st.sampled_from(sorted(self.resident)))
+        if self.lru.needs_make_young(page):
+            self.lru.make_young(page)
+        assert page in self.lru
+
+    @rule()
+    def evict_victim(self):
+        victim = self.lru.victim()
+        if victim is None:
+            return
+        self.lru.remove(victim)
+        self.resident.discard(victim)
+
+    @invariant()
+    def membership_consistent(self):
+        assert set(self.lru.young_pages) | set(self.lru.old_pages) == self.resident
+
+    @invariant()
+    def capacity_respected(self):
+        assert len(self.lru) <= 8
+
+
+TestLRUMachine = LRUMachine.TestCase

@@ -1,0 +1,77 @@
+"""The calibrated paper configurations are internally consistent."""
+
+import pytest
+
+from repro.bench import paperconfig as pc
+from repro.wal.mysql_log import FlushPolicy
+
+
+def test_seeds_are_distinct():
+    assert len(set(pc.SEEDS)) == len(pc.SEEDS)
+
+
+def test_contended_tpcc_has_skew():
+    kwargs = pc.tpcc_contended_kwargs()
+    assert kwargs["warehouses"] == 128
+    assert kwargs["warehouse_zipf_theta"] is not None
+    assert kwargs["item_zipf_theta"] is not None
+
+
+def test_mysql_128wh_experiment_shape():
+    config = pc.mysql_128wh_experiment("VATS", seed=21, n_txns=100)
+    assert config.engine == "mysql"
+    assert config.seed == 21
+    assert config.n_txns == 100
+    assert config.engine_config.scheduler == "VATS"
+    assert config.rate_tps == pc.RATE_TPS
+
+
+def test_mysql_2wh_runs_reduced_scale():
+    config = pc.mysql_2wh_experiment()
+    assert config.workload_kwargs["warehouses"] == 2
+    assert config.rate_tps == pc.RATE_TPS_2WH
+    assert config.engine_config.buffer_pool_fraction < 0.2
+    assert config.engine_config.n_cores < 16
+
+
+def test_2wh_lazy_lru_toggle():
+    assert pc.mysql_2wh_experiment(lazy_lru=True).engine_config.lazy_lru
+    assert not pc.mysql_2wh_experiment(lazy_lru=False).engine_config.lazy_lru
+
+
+def test_workload_kwargs_cover_all_five():
+    for workload in ("tpcc", "seats", "tatp", "epinions", "ycsb"):
+        kwargs = pc.workload_kwargs_for(workload)
+        assert isinstance(kwargs, dict)
+    with pytest.raises(ValueError):
+        pc.workload_kwargs_for("mystery")
+
+
+def test_postgres_experiment_uniform_workload():
+    config = pc.postgres_experiment()
+    assert config.workload_kwargs["warehouse_zipf_theta"] is None
+    assert config.engine_config.parallel_wal is False
+    assert pc.postgres_experiment(parallel_wal=True).engine_config.parallel_wal
+
+
+def test_voltdb_experiment_worker_override():
+    assert pc.voltdb_experiment(n_workers=24).engine_config.n_workers == 24
+
+
+def test_flush_policy_experiments():
+    for name, policy in (
+        ("eager", FlushPolicy.EAGER_FLUSH),
+        ("lazy_flush", FlushPolicy.LAZY_FLUSH),
+        ("lazy_write", FlushPolicy.LAZY_WRITE),
+    ):
+        config = pc.flush_policy_experiment(name)
+        assert config.engine_config.flush_policy is policy
+
+
+def test_disk_calibrations_are_ordered():
+    """The three calibrated devices have the intended speed ordering."""
+    spinning = pc.spinning_log_disk()
+    pg = pc.pg_wal_disk()
+    assert spinning.flush_base_mean > pg.flush_base_mean
+    data = pc.twowh_data_disk()
+    assert data.read_base_mean < data.write_base_mean

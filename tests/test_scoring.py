@@ -1,0 +1,92 @@
+"""Specificity and score-based factor ranking (eqs. 2-3)."""
+
+import pytest
+
+from repro.core.annotations import TxnTrace
+from repro.core.callgraph import CallGraph
+from repro.core.scoring import score_factors, specificity, top_k_factors
+from repro.core.variance_tree import VarianceTree
+
+
+@pytest.fixture
+def graph():
+    return CallGraph.from_dict(
+        "root",
+        {"root": ["mid"], "mid": ["leaf"]},
+    )
+
+
+def make_tree(rows):
+    traces = []
+    for i, durations in enumerate(rows):
+        latency = durations.get(("root", "<root>"), 1.0)
+        traces.append(
+            TxnTrace(i, "t", 0.0, 0.0, latency, 1, durations, {}, True)
+        )
+    return VarianceTree(traces)
+
+
+def test_specificity_decreases_with_height(graph):
+    assert specificity(graph, "leaf") > specificity(graph, "mid")
+    assert specificity(graph, "mid") > specificity(graph, "root")
+    assert specificity(graph, "root") == 0.0
+
+
+def test_specificity_exponent(graph):
+    assert specificity(graph, "leaf", exponent=1) == 2.0
+    assert specificity(graph, "leaf", exponent=2) == 4.0
+
+
+def test_deep_factor_outranks_root_with_same_variance(graph):
+    """The core insight: the root always has the largest variance but is
+    uninformative; with equal variances the leaf must win on score."""
+    rows = [
+        {("root", "<root>"): 10.0, ("leaf", "mid"): 10.0},
+        {("root", "<root>"): 20.0, ("leaf", "mid"): 20.0},
+    ]
+    scores = score_factors(make_tree(rows), graph)
+    assert scores["leaf"] > scores["root"]
+    assert scores["root"] == 0.0  # zero specificity
+
+
+def test_score_aggregates_across_sites(graph):
+    rows = [
+        {("leaf", "A"): 1.0, ("leaf", "B"): 1.0},
+        {("leaf", "A"): 5.0, ("leaf", "B"): 5.0},
+    ]
+    scores = score_factors(make_tree(rows), graph)
+    import numpy as np
+
+    expected = specificity(graph, "leaf") * np.var([2.0, 10.0])
+    assert scores["leaf"] == pytest.approx(expected)
+
+
+def test_body_factors_score_with_their_function(graph):
+    rows = [
+        {("mid::body", "root"): 1.0},
+        {("mid::body", "root"): 7.0},
+    ]
+    scores = score_factors(make_tree(rows), graph)
+    assert "mid::body" in scores
+    import numpy as np
+
+    assert scores["mid::body"] == pytest.approx(
+        specificity(graph, "mid") * np.var([1.0, 7.0])
+    )
+
+
+def test_unknown_functions_skipped(graph):
+    rows = [{("alien", "x"): 1.0}, {("alien", "x"): 2.0}]
+    scores = score_factors(make_tree(rows), graph)
+    assert "alien" not in scores
+
+
+def test_top_k_ordering():
+    scores = {"a": 5.0, "b": 10.0, "c": 1.0}
+    assert top_k_factors(scores, 2) == ["b", "a"]
+    assert top_k_factors(scores, 10) == ["b", "a", "c"]
+
+
+def test_top_k_ties_broken_by_name():
+    scores = {"z": 5.0, "a": 5.0}
+    assert top_k_factors(scores, 2) == ["a", "z"]

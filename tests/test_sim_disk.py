@@ -1,0 +1,155 @@
+"""Disk model: FIFO service, block writes, counters."""
+
+import pytest
+
+from repro.sim.disk import Disk, DiskConfig
+from repro.sim.rand import Streams
+
+
+def make_disk(sim, **config_kwargs):
+    config = DiskConfig(**config_kwargs)
+    return Disk(sim, Streams(9).stream("disk"), config)
+
+
+def test_requests_are_fifo(sim):
+    disk = make_disk(sim)
+    finish = []
+
+    def proc(tag):
+        yield from disk.flush()
+        finish.append(tag)
+
+    sim.spawn(proc("a"))
+    sim.spawn(proc("b"))
+    sim.spawn(proc("c"))
+    sim.run()
+    assert finish == ["a", "b", "c"]
+
+
+def test_second_request_waits_for_first(sim):
+    disk = make_disk(sim)
+    times = []
+
+    def proc():
+        yield from disk.flush()
+        times.append(sim.now)
+
+    sim.spawn(proc())
+    sim.spawn(proc())
+    sim.run()
+    assert times[1] > times[0]
+
+
+def test_write_accounts_bytes(sim):
+    disk = make_disk(sim)
+
+    def proc():
+        yield from disk.write(1000)
+        yield from disk.write(500)
+
+    sim.spawn(proc())
+    sim.run()
+    assert disk.writes == 2
+    assert disk.bytes_written == 1500
+
+
+def test_write_blocks_counts_whole_blocks(sim):
+    disk = make_disk(sim)
+
+    def proc():
+        yield from disk.write_blocks(3, 8192)
+
+    sim.spawn(proc())
+    sim.run()
+    assert disk.writes == 3
+    assert disk.bytes_written == 3 * 8192
+
+
+def test_write_blocks_zero_is_noop(sim):
+    disk = make_disk(sim)
+
+    def proc():
+        yield from disk.write_blocks(0, 8192)
+        yield from disk.flush()
+
+    sim.spawn(proc())
+    sim.run()
+    assert disk.writes == 0
+    assert disk.flushes == 1
+
+
+def test_more_blocks_take_longer(sim):
+    few = make_disk(sim, write_base_cv=0.0001)
+    durations = []
+
+    def proc(disk, nblocks):
+        start = sim.now
+        yield from disk.write_blocks(nblocks, 4096)
+        durations.append(sim.now - start)
+
+    sim.spawn(proc(few, 1))
+    sim.run()
+    sim2_start = sim.now
+
+    def proc2():
+        start = sim.now
+        yield from few.write_blocks(10, 4096)
+        durations.append(sim.now - start)
+
+    sim.spawn(proc2())
+    sim.run()
+    assert durations[1] > durations[0] * 5
+
+
+def test_queue_delay_reflects_busy_device(sim):
+    disk = make_disk(sim)
+
+    def proc():
+        yield from disk.flush()
+
+    sim.spawn(proc())
+    # Before running, nothing queued.
+    assert disk.queue_delay == 0.0
+    sim.run(until=1.0)
+    assert disk.busy
+    assert disk.queue_delay > 0.0
+
+
+def test_page_cache_reads_much_faster_than_spinning(sim):
+    fast = Disk(sim, Streams(9).stream("a"), DiskConfig.page_cache())
+    slow = Disk(sim, Streams(9).stream("b"), DiskConfig())
+    times = {}
+
+    def proc(tag, disk):
+        start = sim.now
+        for _ in range(50):
+            yield from disk.read(16384)
+        times[tag] = sim.now - start
+
+    sim.spawn(proc("fast", fast))
+    sim.run()
+    sim.spawn(proc("slow", slow))
+    sim.run()
+    assert times["fast"] < times["slow"]
+
+
+def test_flush_heavy_tail_present(sim):
+    disk = make_disk(
+        sim,
+        flush_base_mean=100.0,
+        flush_base_cv=0.1,
+        flush_tail_prob=0.2,
+        flush_tail_scale=10_000.0,
+        flush_tail_alpha=2.0,
+    )
+    durations = []
+
+    def proc():
+        for _ in range(500):
+            start = sim.now
+            yield from disk.flush()
+            durations.append(sim.now - start)
+
+    sim.spawn(proc())
+    sim.run()
+    assert max(durations) > 10 * (sum(durations) / len(durations))

@@ -1,0 +1,259 @@
+"""Kernel semantics: clock, ordering, events, timeouts, processes."""
+
+import pytest
+
+from repro.sim.kernel import (
+    Event,
+    SimulationError,
+    Simulator,
+    Timeout,
+    WaitEvent,
+)
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock(sim):
+    seen = []
+
+    def proc():
+        yield Timeout(5.0)
+        seen.append(sim.now)
+        yield Timeout(2.5)
+        seen.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen == [5.0, 7.5]
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-1.0)
+
+
+def test_zero_timeout_allowed(sim):
+    done = []
+
+    def proc():
+        yield Timeout(0.0)
+        done.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert done == [0.0]
+
+
+def test_fifo_tiebreak_at_same_time(sim):
+    """Processes scheduled for the same instant run in spawn order."""
+    order = []
+
+    def proc(tag):
+        yield Timeout(10.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        sim.spawn(proc(tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_event_wakes_all_waiters(sim):
+    event = sim.event()
+    woken = []
+
+    def waiter(tag):
+        yield WaitEvent(event)
+        woken.append((tag, sim.now))
+
+    def firer():
+        yield Timeout(3.0)
+        event.fire("payload")
+
+    sim.spawn(waiter("x"))
+    sim.spawn(waiter("y"))
+    sim.spawn(firer())
+    sim.run()
+    assert woken == [("x", 3.0), ("y", 3.0)]
+    assert event.value == "payload"
+
+
+def test_wait_on_already_fired_event_returns_immediately(sim):
+    event = sim.event()
+    event.fire()
+    seen = []
+
+    def proc():
+        fired = yield WaitEvent(event)
+        seen.append((fired, sim.now))
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen == [(True, 0.0)]
+
+
+def test_event_cannot_fire_twice(sim):
+    event = sim.event()
+    event.fire()
+    with pytest.raises(SimulationError):
+        event.fire()
+
+
+def test_wait_with_timeout_times_out(sim):
+    event = sim.event()
+    results = []
+
+    def proc():
+        fired = yield WaitEvent(event, timeout=4.0)
+        results.append((fired, sim.now))
+
+    sim.spawn(proc())
+    sim.run()
+    assert results == [(False, 4.0)]
+
+
+def test_wait_with_timeout_fires_first(sim):
+    event = sim.event()
+    results = []
+
+    def proc():
+        fired = yield WaitEvent(event, timeout=10.0)
+        results.append((fired, sim.now))
+
+    def firer():
+        yield Timeout(2.0)
+        event.fire()
+
+    sim.spawn(proc())
+    sim.spawn(firer())
+    sim.run()
+    assert results == [(True, 2.0)]
+
+
+def test_timed_out_waiter_not_woken_by_later_fire(sim):
+    event = sim.event()
+    wakeups = []
+
+    def proc():
+        fired = yield WaitEvent(event, timeout=1.0)
+        wakeups.append(fired)
+        yield Timeout(100.0)
+
+    def firer():
+        yield Timeout(5.0)
+        event.fire()
+
+    sim.spawn(proc())
+    sim.spawn(firer())
+    sim.run()
+    assert wakeups == [False]
+
+
+def test_process_return_value_on_done_event(sim):
+    def proc():
+        yield Timeout(1.0)
+        return 42
+
+    process = sim.spawn(proc())
+    sim.run()
+    assert process.done.fired
+    assert process.done.value == 42
+
+
+def test_waiting_on_process_sugar(sim):
+    results = []
+
+    def child():
+        yield Timeout(7.0)
+        return "done"
+
+    def parent():
+        proc = sim.spawn(child())
+        yield proc
+        results.append((sim.now, proc.done.value))
+
+    sim.spawn(parent())
+    sim.run()
+    assert results == [(7.0, "done")]
+
+
+def test_yield_from_composes_subcalls(sim):
+    trace = []
+
+    def inner():
+        yield Timeout(2.0)
+        return "inner-result"
+
+    def outer():
+        value = yield from inner()
+        trace.append((sim.now, value))
+
+    sim.spawn(outer())
+    sim.run()
+    assert trace == [(2.0, "inner-result")]
+
+
+def test_unsupported_command_raises(sim):
+    def proc():
+        yield "nonsense"
+
+    sim.spawn(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_until_bound_pauses_and_resumes(sim):
+    seen = []
+
+    def proc():
+        yield Timeout(10.0)
+        seen.append(sim.now)
+
+    sim.spawn(proc())
+    assert sim.run(until=5.0) == 5.0
+    assert seen == []
+    sim.run()
+    assert seen == [10.0]
+
+
+def test_determinism_two_identical_sims():
+    def build():
+        sim = Simulator()
+        log = []
+
+        def proc(tag, delay):
+            yield Timeout(delay)
+            log.append((tag, sim.now))
+
+        sim.spawn(proc("a", 3))
+        sim.spawn(proc("b", 1))
+        sim.spawn(proc("c", 2))
+        sim.run()
+        return log
+
+    assert build() == build()
+
+
+def test_exception_in_process_propagates(sim):
+    def proc():
+        yield Timeout(1.0)
+        raise ValueError("boom")
+
+    sim.spawn(proc())
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()
+
+
+def test_current_process_tracked(sim):
+    observed = []
+
+    def proc():
+        observed.append(sim.current.name)
+        yield Timeout(1.0)
+
+    sim.spawn(proc(), name="myproc")
+    sim.run()
+    assert observed == ["myproc"]
+    assert sim.current is None

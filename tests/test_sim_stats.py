@@ -1,0 +1,142 @@
+"""Statistics: Lp norms, summaries, covariance — incl. the identities
+the variance tree and VATS theory rest on."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.stats import (
+    LatencySummary,
+    correlation,
+    covariance,
+    lp_norm,
+    summarize,
+)
+
+latency_lists = st.lists(
+    st.floats(min_value=0.001, max_value=1e6, allow_nan=False), min_size=2, max_size=50
+)
+
+
+class TestLpNorm:
+    def test_l1_is_sum(self):
+        assert lp_norm([1.0, 2.0, 3.0], p=1.0) == pytest.approx(6.0)
+
+    def test_l2_euclidean(self):
+        assert lp_norm([3.0, 4.0], p=2.0) == pytest.approx(5.0)
+
+    def test_linf_is_max(self):
+        assert lp_norm([1.0, 9.0, 5.0], p=math.inf) == 9.0
+
+    def test_normalized_is_power_mean(self):
+        values = [2.0, 2.0, 2.0]
+        assert lp_norm(values, p=2.0, normalized=True) == pytest.approx(2.0)
+
+    def test_rejects_p_below_one(self):
+        with pytest.raises(ValueError):
+            lp_norm([1.0], p=0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            lp_norm([], p=2.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=latency_lists)
+    def test_power_mean_monotone_in_p(self, values):
+        """Power means are non-decreasing in p (the paper: larger p
+        penalises deviations more)."""
+        m1 = lp_norm(values, p=1.0, normalized=True)
+        m2 = lp_norm(values, p=2.0, normalized=True)
+        m4 = lp_norm(values, p=4.0, normalized=True)
+        assert m1 <= m2 * (1 + 1e-9)
+        assert m2 <= m4 * (1 + 1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=latency_lists)
+    def test_l2_squared_is_n_times_mean_square(self, values):
+        """||l||_2^2 = n * (mean^2 + var): minimising L2 minimises both."""
+        n = len(values)
+        arr = np.asarray(values)
+        lhs = lp_norm(values, p=2.0) ** 2
+        rhs = n * (arr.mean() ** 2 + arr.var())
+        assert lhs == pytest.approx(rhs, rel=1e-6)
+
+
+class TestCovariance:
+    def test_self_covariance_is_variance(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        assert covariance(xs, xs) == pytest.approx(np.var(xs))
+
+    def test_independent_shifted(self):
+        xs = [1.0, 2.0, 3.0]
+        ys = [5.0, 6.0, 7.0]
+        assert covariance(xs, ys) == pytest.approx(covariance(xs, xs))
+
+    def test_anticorrelated(self):
+        xs = [1.0, 2.0, 3.0]
+        ys = [3.0, 2.0, 1.0]
+        assert covariance(xs, ys) < 0
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            covariance([1.0], [1.0, 2.0])
+
+    def test_correlation_of_constant_is_zero(self):
+        assert correlation([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_correlation_bounds(self):
+        assert correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+        assert correlation([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=latency_lists)
+    def test_var_of_sum_identity(self, values):
+        """Var(X+Y) = Var(X) + Var(Y) + 2Cov(X,Y) — eq. (1) base case."""
+        xs = np.asarray(values)
+        ys = xs[::-1].copy()
+        lhs = float((xs + ys).var())
+        rhs = float(xs.var()) + float(ys.var()) + 2.0 * covariance(xs, ys)
+        # Absolute tolerance scales with the variance magnitude: when the
+        # sum is (nearly) constant the identity is a cancellation of large
+        # terms and float error dominates.
+        tolerance = 1e-9 + 1e-10 * (float(xs.var()) + float(ys.var()))
+        assert lhs == pytest.approx(rhs, rel=1e-6, abs=tolerance)
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.variance == pytest.approx(1.25)
+        assert s.std == pytest.approx(math.sqrt(1.25))
+        assert s.max == 4.0
+        assert s.p50 == pytest.approx(2.5)
+
+    def test_cv(self):
+        s = summarize([10.0, 10.0])
+        assert s.cv == 0.0
+
+    def test_p99_upper_tail(self):
+        values = list(range(1, 101))
+        s = summarize(values)
+        assert s.p99 >= 99.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_ratio_to(self):
+        base = summarize([10.0, 20.0, 30.0])
+        better = summarize([5.0, 10.0, 15.0])
+        ratios = better.ratio_to(base)
+        assert ratios["mean"] == pytest.approx(2.0)
+        assert ratios["variance"] == pytest.approx(4.0)
+        assert ratios["p99"] == pytest.approx(2.0)
+
+    def test_repr_is_informative(self):
+        s = summarize([1.0, 2.0])
+        assert "mean" in repr(s)

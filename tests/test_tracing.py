@@ -1,0 +1,218 @@
+"""Selective instrumentation: frames, sites, probe costs, manual records."""
+
+import pytest
+
+from repro.core.annotations import TransactionContext, TransactionLog
+from repro.core.callgraph import CallGraph
+from repro.core.tracing import Tracer
+from repro.sim.kernel import Timeout
+
+
+@pytest.fixture
+def graph():
+    return CallGraph.from_dict(
+        "root", {"root": ["child"], "child": ["grandchild"]}
+    )
+
+
+def make_tracer(sim, graph, instrumented, probe_cost=0.0):
+    return Tracer(
+        sim, graph, instrumented=instrumented, probe_cost=probe_cost, log=TransactionLog()
+    )
+
+
+def body(duration):
+    def gen():
+        yield Timeout(duration)
+        return "value"
+
+    return gen()
+
+
+def test_uninstrumented_function_is_invisible(sim, graph):
+    tracer = make_tracer(sim, graph, instrumented=set())
+    ctx = TransactionContext(sim, 1, "t")
+
+    def proc():
+        tracer.begin_transaction(ctx)
+        result = yield from tracer.traced(ctx, "root", body(10.0))
+        assert result == "value"
+        tracer.end_transaction(ctx)
+
+    sim.spawn(proc())
+    sim.run()
+    assert ctx.durations == {}
+
+
+def test_instrumented_function_records_duration(sim, graph):
+    tracer = make_tracer(sim, graph, instrumented={"root"})
+    ctx = TransactionContext(sim, 1, "t")
+
+    def proc():
+        tracer.begin_transaction(ctx)
+        yield from tracer.traced(ctx, "root", body(10.0))
+        tracer.end_transaction(ctx)
+
+    sim.spawn(proc())
+    sim.run()
+    assert ctx.durations == {("root", "<root>"): 10.0}
+
+
+def test_nested_frames_attributed_to_parent(sim, graph):
+    tracer = make_tracer(sim, graph, instrumented={"root", "child"})
+    ctx = TransactionContext(sim, 1, "t")
+
+    def child_gen():
+        yield Timeout(4.0)
+
+    def root_gen():
+        yield Timeout(3.0)
+        yield from tracer.traced(ctx, "child", child_gen())
+        yield Timeout(3.0)
+
+    def proc():
+        tracer.begin_transaction(ctx)
+        yield from tracer.traced(ctx, "root", root_gen())
+        tracer.end_transaction(ctx)
+
+    sim.spawn(proc())
+    sim.run()
+    assert ctx.durations[("root", "<root>")] == 10.0
+    assert ctx.durations[("child", "root")] == 4.0
+    assert ctx.under[("root", "<root>")] == {("child", "root"): 4.0}
+
+
+def test_skipped_middle_level_attributes_to_nearest_instrumented(sim, graph):
+    """When 'child' is not instrumented, grandchild time lands under root."""
+    tracer = make_tracer(sim, graph, instrumented={"root", "grandchild"})
+    ctx = TransactionContext(sim, 1, "t")
+
+    def grandchild_gen():
+        yield Timeout(2.0)
+
+    def child_gen():
+        yield from tracer.traced(ctx, "grandchild", grandchild_gen())
+
+    def root_gen():
+        yield from tracer.traced(ctx, "child", child_gen())
+
+    def proc():
+        tracer.begin_transaction(ctx)
+        yield from tracer.traced(ctx, "root", root_gen())
+        tracer.end_transaction(ctx)
+
+    sim.spawn(proc())
+    sim.run()
+    assert ("child", "root") not in ctx.durations
+    assert ctx.durations[("grandchild", "root")] == 2.0
+    assert ctx.under[("root", "<root>")] == {("grandchild", "root"): 2.0}
+
+
+def test_explicit_site_labels_distinguish_call_sites(sim, graph):
+    """The paper's os_event_wait [A] vs [B] distinction."""
+    tracer = make_tracer(sim, graph, instrumented={"child"})
+    ctx = TransactionContext(sim, 1, "t")
+
+    def proc():
+        tracer.begin_transaction(ctx)
+        yield from tracer.traced(ctx, "child", body(1.0), site="A")
+        yield from tracer.traced(ctx, "child", body(2.0), site="B")
+        yield from tracer.traced(ctx, "child", body(3.0), site="B")
+        tracer.end_transaction(ctx)
+
+    sim.spawn(proc())
+    sim.run()
+    assert ctx.durations[("child", "A")] == 1.0
+    assert ctx.durations[("child", "B")] == 5.0
+
+
+def test_multiple_invocations_aggregate(sim, graph):
+    tracer = make_tracer(sim, graph, instrumented={"root"})
+    ctx = TransactionContext(sim, 1, "t")
+
+    def proc():
+        tracer.begin_transaction(ctx)
+        yield from tracer.traced(ctx, "root", body(10.0))
+        yield from tracer.traced(ctx, "root", body(5.0))
+        tracer.end_transaction(ctx)
+
+    sim.spawn(proc())
+    sim.run()
+    assert ctx.durations[("root", "<root>")] == 15.0
+
+
+def test_probe_cost_charged_per_entry_and_exit(sim, graph):
+    tracer = make_tracer(sim, graph, instrumented={"root"}, probe_cost=1.0)
+    ctx = TransactionContext(sim, 1, "t")
+
+    def proc():
+        tracer.begin_transaction(ctx)
+        yield from tracer.traced(ctx, "root", body(10.0))
+        tracer.end_transaction(ctx)
+
+    sim.spawn(proc())
+    sim.run()
+    assert sim.now == 12.0  # 10 body + 2 probes
+    assert tracer.probe_firings == 2
+    trace = tracer.log.traces[0]
+    assert trace.latency == 12.0
+
+
+def test_no_probe_cost_for_uninstrumented(sim, graph):
+    tracer = make_tracer(sim, graph, instrumented=set(), probe_cost=5.0)
+    ctx = TransactionContext(sim, 1, "t")
+
+    def proc():
+        tracer.begin_transaction(ctx)
+        yield from tracer.traced(ctx, "root", body(10.0))
+        tracer.end_transaction(ctx)
+
+    sim.spawn(proc())
+    sim.run()
+    assert sim.now == 10.0
+    assert tracer.probe_firings == 0
+
+
+def test_traced_with_none_ctx_delegates(sim, graph):
+    tracer = make_tracer(sim, graph, instrumented={"root"})
+    result = []
+
+    def proc():
+        value = yield from tracer.traced(None, "root", body(1.0))
+        result.append(value)
+
+    sim.spawn(proc())
+    sim.run()
+    assert result == ["value"]
+
+
+def test_instrument_validates_names(sim, graph):
+    tracer = make_tracer(sim, graph, instrumented=set())
+    tracer.instrument(["child"])
+    assert "child" in tracer.instrumented
+    with pytest.raises(KeyError):
+        tracer.instrument(["not_a_function"])
+
+
+def test_record_manual_respects_instrumented_set(sim, graph):
+    tracer = make_tracer(sim, graph, instrumented={"root", "child"})
+    ctx = TransactionContext(sim, 1, "t")
+    tracer.record(ctx, "child", 5.0, site="q", parent=("root", "<root>"))
+    tracer.record(ctx, "grandchild", 1.0)  # not instrumented: dropped
+    assert ctx.durations == {("child", "q"): 5.0}
+    assert ctx.under[("root", "<root>")] == {("child", "q"): 5.0}
+
+
+def test_end_transaction_records_to_log(sim, graph):
+    tracer = make_tracer(sim, graph, instrumented=set())
+    ctx = TransactionContext(sim, 1, "t")
+
+    def proc():
+        tracer.begin_transaction(ctx)
+        yield Timeout(1.0)
+        tracer.end_transaction(ctx, committed=False)
+
+    sim.spawn(proc())
+    sim.run()
+    assert len(tracer.log) == 1
+    assert not tracer.log.traces[0].committed

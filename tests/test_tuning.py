@@ -1,0 +1,120 @@
+"""The variance-aware tuning advisor and sweep machinery."""
+
+import pytest
+
+from repro.bench import paperconfig as pc
+from repro.tuning.advisor import Recommendation, TuningAdvisor
+from repro.tuning.sweep import ParameterSweep
+
+
+class TestAdvisor:
+    def test_known_factor_mapped(self):
+        advisor = TuningAdvisor()
+        recs = advisor.recommend({"os_event_wait": 0.6})
+        assert len(recs) == 1
+        assert recs[0].parameter == "lock scheduling algorithm"
+        assert "VATS" in recs[0].action
+
+    def test_ranked_by_share(self):
+        advisor = TuningAdvisor()
+        recs = advisor.recommend(
+            {"fil_flush": 0.05, "os_event_wait": 0.6, "buf_pool_mutex_enter": 0.3}
+        )
+        assert [r.factor for r in recs] == [
+            "os_event_wait",
+            "buf_pool_mutex_enter",
+            "fil_flush",
+        ]
+
+    def test_below_threshold_ignored(self):
+        advisor = TuningAdvisor(min_share=0.1)
+        assert advisor.recommend({"fil_flush": 0.05}) == []
+
+    def test_unknown_factors_ignored(self):
+        advisor = TuningAdvisor()
+        assert advisor.recommend({"mystery_function": 0.9}) == []
+
+    def test_body_factors_folded(self):
+        advisor = TuningAdvisor()
+        recs = advisor.recommend({"buf_pool_mutex_enter::body": 0.4})
+        assert recs and recs[0].factor == "buf_pool_mutex_enter"
+
+    def test_durability_tradeoff_surfaced(self):
+        advisor = TuningAdvisor()
+        recs = advisor.recommend({"fil_flush": 0.3})
+        assert recs[0].tradeoff is not None
+        assert "crash" in recs[0].tradeoff
+
+    def test_render_mentions_every_factor(self):
+        advisor = TuningAdvisor()
+        text = advisor.render({"LWLockAcquireOrWait": 0.77, "[waiting in queue]": 0.9})
+        assert "LWLockAcquireOrWait" in text
+        assert "[waiting in queue]" in text
+        assert "trade-off" in text or "worker" in text
+
+    def test_render_empty(self):
+        assert "No actionable" in TuningAdvisor().render({})
+
+    def test_advisor_on_real_profile(self):
+        """End-to-end: profile the contended MySQL config and the advisor
+        must point at the lock scheduler first."""
+        from repro.bench.profiled import EngineProfiledSystem
+        from repro.core.profiler import TProfiler
+
+        system = EngineProfiledSystem(pc.mysql_128wh_experiment(n_txns=800))
+        profile = TProfiler(system, k=4, max_iterations=6).profile()
+        recs = TuningAdvisor().recommend(profile.tree.name_shares())
+        assert recs
+        assert recs[0].parameter in (
+            "lock scheduling algorithm",
+            "innodb_flush_log_at_trx_commit",
+        )
+
+
+class TestSweep:
+    def make_sweep(self):
+        def make_config(n_workers):
+            return pc.voltdb_experiment(n_workers=n_workers, n_txns=600)
+
+        return ParameterSweep(make_config)
+
+    def test_sweep_runs_all_candidates(self):
+        sweep = self.make_sweep()
+        points = sweep.run([2, 8])
+        assert [p.value for p in points] == [2, 8]
+
+    def test_best_prefers_low_variance_with_good_mean(self):
+        sweep = self.make_sweep()
+        sweep.run([2, 8])
+        best = sweep.best()
+        assert best.value == 8  # more workers: lower mean AND variance
+
+    def test_best_requires_run_first(self):
+        with pytest.raises(RuntimeError):
+            self.make_sweep().best()
+
+    def test_render_contains_all_settings(self):
+        sweep = self.make_sweep()
+        sweep.run([2, 8])
+        text = sweep.render()
+        assert "ideal setting" in text
+        assert "8" in text
+
+    def test_padding_rejected_by_ideal_rule(self):
+        """A setting that trivially minimises variance by inflating mean
+        latency (the paper's padding strawman) must not win."""
+
+        class FakeSummary:
+            def __init__(self, mean, variance):
+                self.mean = mean
+                self.variance = variance
+                self.p99 = mean * 2
+
+        from repro.tuning.sweep import SweepPoint
+
+        sweep = ParameterSweep(lambda v: None)
+        sweep.points = [
+            SweepPoint("normal", 1, FakeSummary(10.0, 100.0), 500.0),
+            SweepPoint("padded", 2, FakeSummary(100.0, 1.0), 500.0),
+        ]
+        assert sweep.best().label == "normal"

@@ -1,0 +1,160 @@
+"""The variance tree: eq. (1) identity, shares, decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.annotations import TxnTrace
+from repro.core.variance_tree import VarianceTree, body_key
+
+
+def make_trace(txn_id, latency, durations=None, under=None, committed=True):
+    return TxnTrace(
+        txn_id=txn_id,
+        txn_type="t",
+        birth=0.0,
+        start=0.0,
+        end=latency,
+        attempts=1,
+        durations=durations or {},
+        under=under or {},
+        committed=committed,
+    )
+
+
+ROOT = ("root", "<root>")
+A = ("a", "root")
+B = ("b", "root")
+
+
+def traces_with_components(component_rows):
+    """Build traces where root = a + b exactly."""
+    traces = []
+    for i, (a, b) in enumerate(component_rows):
+        total = a + b
+        traces.append(
+            make_trace(
+                i,
+                total,
+                durations={ROOT: total, A: a, B: b},
+                under={ROOT: {A: a, B: b}},
+            )
+        )
+    return traces
+
+
+def test_overall_variance_is_latency_variance():
+    traces = [make_trace(i, lat) for i, lat in enumerate([10.0, 20.0, 30.0])]
+    tree = VarianceTree(traces)
+    assert tree.overall_variance == pytest.approx(np.var([10.0, 20.0, 30.0]))
+
+
+def test_aborted_traces_excluded():
+    traces = [make_trace(0, 10.0), make_trace(1, 99999.0, committed=False)]
+    tree = VarianceTree(traces)
+    assert tree.overall_variance == 0.0
+
+
+def test_empty_raises():
+    with pytest.raises(ValueError):
+        VarianceTree([])
+
+
+def test_share_of_factor():
+    rows = [(10.0, 0.0), (20.0, 0.0), (30.0, 0.0)]
+    tree = VarianceTree(traces_with_components(rows))
+    assert tree.share(A) == pytest.approx(1.0)
+    assert tree.share(B) == pytest.approx(0.0)
+
+
+def test_missing_factor_counts_as_zero():
+    traces = [
+        make_trace(0, 10.0, durations={A: 5.0}),
+        make_trace(1, 10.0, durations={}),
+    ]
+    tree = VarianceTree(traces)
+    assert tree.factor_variance(A) == pytest.approx(np.var([5.0, 0.0]))
+
+
+def test_decompose_identity_exact():
+    """Var(parent) equals sum of component variances + 2*sum covariances."""
+    rows = [(1.0, 9.0), (5.0, 2.0), (3.0, 3.0), (8.0, 1.0)]
+    tree = VarianceTree(traces_with_components(rows))
+    decomp = tree.decompose(ROOT)
+    assert decomp.reconstructed_variance() == pytest.approx(
+        tree.factor_variance(ROOT), rel=1e-9
+    )
+
+
+def test_decompose_body_is_residual():
+    traces = [
+        make_trace(0, 10.0, durations={ROOT: 10.0, A: 4.0}, under={ROOT: {A: 4.0}}),
+        make_trace(1, 20.0, durations={ROOT: 20.0, A: 5.0}, under={ROOT: {A: 5.0}}),
+    ]
+    tree = VarianceTree(traces)
+    decomp = tree.decompose(ROOT)
+    body = [c for c in decomp.components if c.key == body_key(ROOT)][0]
+    assert list(body.samples) == [6.0, 15.0]
+
+
+def test_decompose_unknown_parent_raises():
+    tree = VarianceTree([make_trace(0, 1.0), make_trace(1, 2.0)])
+    with pytest.raises(KeyError):
+        tree.decompose(("nope", "<root>"))
+
+
+def test_name_shares_aggregate_sites():
+    traces = [
+        make_trace(0, 10.0, durations={("f", "A"): 2.0, ("f", "B"): 1.0}),
+        make_trace(1, 30.0, durations={("f", "A"): 9.0, ("f", "B"): 6.0}),
+    ]
+    tree = VarianceTree(traces)
+    shares = tree.name_shares()
+    combined = np.var([3.0, 15.0]) / np.var([10.0, 30.0])
+    assert shares["f"] == pytest.approx(combined)
+
+
+def test_covariance_antisymmetric_components():
+    """Components that trade off against each other covary negatively."""
+    rows = [(1.0, 9.0), (9.0, 1.0), (2.0, 8.0), (8.0, 2.0)]
+    tree = VarianceTree(traces_with_components(rows))
+    decomp = tree.decompose(ROOT)
+    covs = decomp.covariances()
+    assert covs[(A, B)] < 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.floats(0.0, 1e4, allow_nan=False), st.floats(0.0, 1e4, allow_nan=False)
+        ),
+        min_size=2,
+        max_size=30,
+    )
+)
+def test_variance_tree_identity_property(rows):
+    """Property: eq. (1) holds exactly for any component data."""
+    tree = VarianceTree(traces_with_components(rows))
+    decomp = tree.decompose(ROOT)
+    assert decomp.reconstructed_variance() == pytest.approx(
+        tree.factor_variance(ROOT), rel=1e-6, abs=1e-6
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(st.floats(0.0, 1e4), st.floats(0.0, 1e4)), min_size=2, max_size=30
+    )
+)
+def test_parent_variance_at_least_single_child_contribution(rows):
+    """The paper's observation: a parent's variance always >= what any
+    single child contributes net of covariance (why raw variance ranks
+    roots, motivating specificity)."""
+    tree = VarianceTree(traces_with_components(rows))
+    parent_var = tree.factor_variance(ROOT)
+    decomp = tree.decompose(ROOT)
+    total = decomp.reconstructed_variance()
+    assert total == pytest.approx(parent_var, rel=1e-6, abs=1e-6)

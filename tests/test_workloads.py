@@ -1,0 +1,211 @@
+"""Workload generators: mixes, schemas, contention structure."""
+
+import random
+
+import pytest
+
+from repro.workloads import WORKLOADS, make_workload
+from repro.workloads.base import Operation, TxnSpec, Workload
+from repro.workloads.tpcc import TPCC
+
+
+@pytest.fixture
+def rng():
+    return random.Random(99)
+
+
+class TestOperation:
+    def test_update_defaults_to_x_lock(self):
+        op = Operation("update", "t", 1)
+        assert op.lock == "X"
+
+    def test_plain_select_takes_no_lock(self):
+        op = Operation("select", "t", 1)
+        assert op.lock is None
+
+    def test_locking_select(self):
+        assert Operation("select", "t", 1, lock="X").lock == "X"
+        assert Operation("select", "t", 1, lock="S").lock == "S"
+
+    def test_invalid_kind_and_lock(self):
+        with pytest.raises(ValueError):
+            Operation("delete", "t", 1)
+        with pytest.raises(ValueError):
+            Operation("select", "t", 1, lock="Z")
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+class TestEveryWorkload:
+    def test_operations_reference_schema_tables(self, name, rng):
+        workload = make_workload(name)
+        for _ in range(200):
+            spec = workload.make_txn(rng)
+            assert len(spec.ops) >= 1
+            for op in spec.ops:
+                assert op.table in workload.schema
+
+    def test_mix_frequencies_match_weights(self, name, rng):
+        workload = make_workload(name)
+        total = sum(w for _t, w, _m in workload.mix)
+        counts = {}
+        n = 4000
+        for _ in range(n):
+            spec = workload.make_txn(rng)
+            counts[spec.txn_type] = counts.get(spec.txn_type, 0) + 1
+        for txn_type, weight, _maker in workload.mix:
+            expected = weight / total
+            observed = counts.get(txn_type, 0) / n
+            assert observed == pytest.approx(expected, abs=0.03)
+
+    def test_deterministic_for_same_rng_seed(self, name):
+        def sample(seed):
+            workload = make_workload(name)
+            rng = random.Random(seed)
+            return [
+                (s.txn_type, [(o.kind, o.table, o.key) for o in s.ops])
+                for s in (workload.make_txn(rng) for _ in range(50))
+            ]
+
+        assert sample(5) == sample(5)
+
+    def test_insert_keys_are_fresh(self, name, rng):
+        workload = make_workload(name)
+        seen = set()
+        for _ in range(500):
+            for op in workload.make_txn(rng).ops:
+                if op.kind == "insert":
+                    key = (op.table, op.key)
+                    assert key not in seen
+                    seen.add(key)
+
+
+class TestTPCC:
+    def test_standard_mix_weights(self):
+        tpcc = TPCC()
+        weights = {t: w for t, w, _m in tpcc.mix}
+        assert weights["NewOrder"] == 45
+        assert weights["Payment"] == 43
+        assert weights["OrderStatus"] == weights["Delivery"] == weights["StockLevel"] == 4
+
+    def test_new_order_line_count_range(self, rng):
+        tpcc = TPCC(warehouses=4)
+        for _ in range(100):
+            spec = tpcc.make_txn(rng)
+            if spec.txn_type != "NewOrder":
+                continue
+            stock_locks = [
+                op
+                for op in spec.ops
+                if op.table == "stock" and op.kind == "select" and op.lock == "X"
+            ]
+            assert 5 <= len(stock_locks) <= 15
+
+    def test_fixed_order_lines(self, rng):
+        tpcc = TPCC(warehouses=4, fixed_order_lines=10)
+        for _ in range(50):
+            spec = tpcc.make_txn(rng)
+            if spec.txn_type == "NewOrder":
+                stock_locks = [
+                    op
+                    for op in spec.ops
+                    if op.table == "stock" and op.kind == "select" and op.lock == "X"
+                ]
+                assert len(stock_locks) == 10
+
+    def test_new_order_locks_district_via_select(self, rng):
+        """The os_event_wait [A] call site: X lock from a select."""
+        tpcc = TPCC(warehouses=4)
+        for _ in range(100):
+            spec = tpcc.make_txn(rng)
+            if spec.txn_type == "NewOrder":
+                first_district = next(o for o in spec.ops if o.table == "district")
+                assert first_district.kind == "select"
+                assert first_district.lock == "X"
+                break
+
+    def test_new_order_conflicts_with_delivery_on_new_order_counter(self, rng):
+        tpcc = TPCC(warehouses=1, warehouse_zipf_theta=None)
+        counters_locked = set()
+        for _ in range(300):
+            spec = tpcc.make_txn(rng)
+            for op in spec.ops:
+                if op.table == "new_order" and op.kind == "update":
+                    counters_locked.add((spec.txn_type, op.key))
+        types = {t for t, _k in counters_locked}
+        assert "NewOrder" in types and "Delivery" in types
+
+    def test_warehouse_skew_concentrates_traffic(self, rng):
+        skewed = TPCC(warehouses=64, warehouse_zipf_theta=0.99)
+        uniform = TPCC(warehouses=64, warehouse_zipf_theta=None)
+
+        def hottest_share(workload):
+            counts = {}
+            sampler = random.Random(5)
+            for _ in range(3000):
+                w = workload._warehouse(sampler)
+                counts[w] = counts.get(w, 0) + 1
+            return max(counts.values()) / 3000
+
+        assert hottest_share(skewed) > 2 * hottest_share(uniform)
+
+    def test_zero_warehouses_rejected(self):
+        with pytest.raises(ValueError):
+            TPCC(warehouses=0)
+
+
+class TestWorkloadBase:
+    def test_finalize_required(self, rng):
+        class Broken(Workload):
+            def __init__(self):
+                super().__init__()
+                self.mix = [("only", 1, lambda r: [Operation("select", "t", 0)])]
+                self.schema = {"t": 10}
+                # forgot to call finalize()
+
+        with pytest.raises(RuntimeError):
+            Broken().make_txn(rng)
+
+    def test_fresh_keys_monotone(self):
+        workload = TPCC(warehouses=1)
+        k1 = workload.fresh_key("orders")
+        k2 = workload.fresh_key("orders")
+        assert k2 == k1 + 1
+        assert k1 >= workload.schema["orders"]
+
+    def test_unknown_workload_name(self):
+        with pytest.raises(ValueError):
+            make_workload("oracle")
+
+
+class TestContentionProfiles:
+    def test_ycsb_essentially_conflict_free(self, rng):
+        """Table 4's no-contention rows: repeated sampling rarely
+        collides on the same key."""
+        ycsb = make_workload("ycsb")
+        keys = []
+        for _ in range(300):
+            for op in ycsb.make_txn(rng).ops:
+                if op.lock == "X":
+                    keys.append((op.table, op.key))
+        assert len(set(keys)) >= 0.99 * len(keys)
+
+    def test_seats_concentrates_on_hot_flights(self, rng):
+        seats = make_workload("seats")
+        flights = []
+        for _ in range(500):
+            for op in seats.make_txn(rng).ops:
+                if op.table == "flight" and op.lock == "X":
+                    flights.append(op.key)
+        hottest = max(flights.count(f) for f in set(flights))
+        assert hottest > len(flights) * 0.05
+
+    def test_tatp_read_dominated(self, rng):
+        tatp = make_workload("tatp")
+        reads = writes = 0
+        for _ in range(500):
+            for op in tatp.make_txn(rng).ops:
+                if op.kind == "select" and op.lock is None:
+                    reads += 1
+                else:
+                    writes += 1
+        assert reads > 2 * writes
