@@ -66,6 +66,7 @@ def _config_key(config):
         config.warmup_fraction,
         tuple(sorted(config.instrumented)),
         config.probe_cost,
+        config.telemetry,
     )
 
 

@@ -19,7 +19,11 @@ from repro.bench.runner import run_experiment
 
 
 def main():
-    n_txns = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    # Scheduler comparisons measure differences between heavy-tailed
+    # convoy distributions and need long runs to converge (this is
+    # paperconfig.N_TXNS_SCHED, the same length Figure 2 uses); pass a
+    # smaller count for a faster, noisier demo.
+    n_txns = int(sys.argv[1]) if len(sys.argv) > 1 else 12_000
 
     print("Running contended TPC-C on simulated MySQL (%d txns @ 500 tps)" % n_txns)
     results = {}
@@ -47,6 +51,34 @@ def main():
     print(
         "  mean %.2fx   variance %.2fx   p99 %.2fx"
         % (improvement["mean"], improvement["variance"], improvement["p99"])
+    )
+
+    # Every run also carries a telemetry snapshot (see docs/telemetry.md).
+    snapshot = results["VATS"].metrics_snapshot()
+    counters = snapshot["counters"]
+    wait_hist = snapshot["histograms"].get("lockmgr.wait_time.VATS", {})
+    print()
+    print("VATS run telemetry (excerpt of metrics_snapshot()):")
+    print(
+        "  lockmgr: requests=%d waits=%d deadlocks=%d"
+        % (
+            counters.get("lockmgr.requests", 0),
+            counters.get("lockmgr.waits", 0),
+            counters.get("lockmgr.deadlocks", 0),
+        )
+    )
+    if wait_hist.get("count"):
+        print(
+            "  lock wait time: mean=%.0f us  p99=%.0f us  (n=%d, GK sketch)"
+            % (wait_hist["mean"], wait_hist["p99"], wait_hist["count"])
+        )
+    print(
+        "  buffer pool: hits=%d misses=%d   wal flush rounds=%d"
+        % (
+            counters.get("buf_pool.hits", 0),
+            counters.get("buf_pool.misses", 0),
+            counters.get("wal.redo.flush_rounds", 0),
+        )
     )
     print()
     print(

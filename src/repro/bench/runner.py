@@ -20,6 +20,7 @@ from repro.engines.voltdb import VoltDBConfig, VoltDBEngine, voltdb_callgraph
 from repro.sim.kernel import Simulator
 from repro.sim.rand import Streams
 from repro.sim.stats import summarize
+from repro.telemetry import NULL_REGISTRY, MetricsRegistry
 from repro.workloads import make_workload
 from repro.workloads.driver import LoadDriver
 
@@ -50,6 +51,7 @@ class ExperimentConfig:
         warmup_fraction=0.1,
         instrumented=(),
         probe_cost=0.0,
+        telemetry=True,
     ):
         if engine not in _ENGINES:
             raise ValueError("unknown engine %r" % (engine,))
@@ -63,6 +65,10 @@ class ExperimentConfig:
         self.warmup_fraction = warmup_fraction
         self.instrumented = frozenset(instrumented)
         self.probe_cost = probe_cost
+        # Telemetry emitters consume zero virtual time, so this flag can
+        # never change a run's results — only whether a metrics snapshot
+        # is available afterwards.
+        self.telemetry = telemetry
 
     def replaced(self, **overrides):
         """A copy of this config with fields replaced."""
@@ -77,6 +83,7 @@ class ExperimentConfig:
             "warmup_fraction": self.warmup_fraction,
             "instrumented": self.instrumented,
             "probe_cost": self.probe_cost,
+            "telemetry": self.telemetry,
         }
         fields.update(overrides)
         return ExperimentConfig(**fields)
@@ -91,6 +98,22 @@ class RunResult:
         self.engine = engine
         self.sim = sim
         self.warmup_count = warmup_count
+
+    @property
+    def metrics(self):
+        """The run's :class:`MetricsRegistry` (null when disabled)."""
+        return self.sim.telemetry
+
+    def metrics_snapshot(self):
+        """The metrics report for this run: plain JSON-serialisable dicts.
+
+        Empty when the run was configured with ``telemetry=False``.
+        """
+        return self.metrics.snapshot()
+
+    def event_log_jsonl(self):
+        """The structured event log as JSON lines (empty when disabled)."""
+        return self.metrics.events.to_jsonl()
 
     @property
     def traces(self):
@@ -133,7 +156,9 @@ class RunResult:
 
 def run_experiment(config):
     """Execute one :class:`ExperimentConfig` to completion."""
-    sim = Simulator()
+    registry = MetricsRegistry() if config.telemetry else NULL_REGISTRY
+    sim = Simulator(telemetry=registry)
+    registry.bind_clock(sim)
     streams = Streams(config.seed)
     workload = make_workload(config.workload, **config.workload_kwargs)
     log = TransactionLog()

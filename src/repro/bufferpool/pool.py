@@ -97,6 +97,18 @@ class BufferPool:
         self.make_youngs = 0
         self.llu_deferrals = 0
         self.llu_applied = 0
+        # Telemetry instruments.  The hold-time histogram measures how
+        # long the pool mutex stays held per critical section — the
+        # quantity LLU shrinks and the paper's Table 1 indicts.
+        tm = sim.telemetry
+        self._tm = tm
+        self._t_hits = tm.counter(name + ".hits")
+        self._t_misses = tm.counter(name + ".misses")
+        self._t_evictions = tm.counter(name + ".evictions")
+        self._t_writebacks = tm.counter(name + ".dirty_writebacks")
+        self._t_deferrals = tm.counter(name + ".llu_deferrals")
+        self._t_hold_hist = tm.histogram(name + ".mutex_hold_time")
+        self._t_resident = tm.gauge(name + ".resident_pages")
 
     # ------------------------------------------------------------------
     # Public API
@@ -138,6 +150,7 @@ class BufferPool:
             if page is None:
                 break
             self.hits += 1
+            self._t_hits.inc()
             yield Timeout(self.config.hit_cost)
             if self._pages.get(page_id) is not page:
                 # Evicted (or replaced) while we paused: take the miss path.
@@ -150,6 +163,7 @@ class BufferPool:
                 )
             return page
         self.misses += 1
+        self._t_misses.inc()
         page = yield from self.tracer.traced(
             ctx, "buf_read_page", self._read_in(ctx, page_id)
         )
@@ -179,9 +193,11 @@ class BufferPool:
         yield from self.tracer.traced(
             ctx, "buf_pool_mutex_enter", self.mutex.acquire(), site="make_young"
         )
+        held_since = self.sim.now
         yield from self.tracer.traced(
             ctx, "buf_LRU_make_block_young", self._apply_make_young(page_id)
         )
+        self._t_hold_hist.observe(self.sim.now - held_since)
         self.mutex.release()
 
     def _make_young_lazy(self, ctx, page_id, backlog):
@@ -190,14 +206,17 @@ class BufferPool:
         )
         if not acquired:
             self.llu_deferrals += 1
+            self._t_deferrals.inc()
             if backlog is not None:
                 backlog.append(page_id)
             return
+        held_since = self.sim.now
         if backlog:
             yield from self._apply_backlog(backlog)
         yield from self.tracer.traced(
             ctx, "buf_LRU_make_block_young", self._apply_make_young(page_id)
         )
+        self._t_hold_hist.observe(self.sim.now - held_since)
         self.mutex.release()
 
     def _apply_backlog(self, backlog):
@@ -224,9 +243,11 @@ class BufferPool:
         yield from self.tracer.traced(
             ctx, "buf_pool_mutex_enter", self.mutex.acquire(), site="read_page"
         )
+        held_since = self.sim.now
         # Somebody else may have read the page in while we waited.
         page = self._pages.get(page_id)
         if page is not None:
+            self._t_hold_hist.observe(self.sim.now - held_since)
             self.mutex.release()
             yield Timeout(self.config.hit_cost)
             return page
@@ -238,6 +259,8 @@ class BufferPool:
         page = Page(page_id)
         self._pages[page_id] = page
         self._lru.insert_old(page_id)
+        self._t_hold_hist.observe(self.sim.now - held_since)
+        self._t_resident.set(len(self._pages))
         self.mutex.release()
         yield from self.disk.read(self.config.page_bytes)
         return page
@@ -258,8 +281,10 @@ class BufferPool:
         victim = self._pages.pop(victim_id)
         self._lru.remove(victim_id)
         self.evictions += 1
+        self._t_evictions.inc()
         if victim.dirty:
             self.dirty_writebacks += 1
+            self._t_writebacks.inc()
             yield from self.disk.write(self.config.page_bytes)
 
     def __repr__(self):

@@ -44,6 +44,7 @@ class Engine:
     def __init__(self, sim, tracer, n_workers):
         self.sim = sim
         self.tracer = tracer
+        self.telemetry = sim.telemetry
         self.n_workers = n_workers
         self.queue = WaitQueue(sim, name=self.name + ".submit")
         self.workers = [Worker(i) for i in range(n_workers)]
@@ -52,6 +53,9 @@ class Engine:
             for i, worker in enumerate(self.workers)
         ]
         self._draining = False
+        self._t_committed = self.telemetry.counter(self.name + ".txns_committed")
+        self._t_failed = self.telemetry.counter(self.name + ".txns_failed")
+        self._t_submit_depth = self.telemetry.gauge(self.name + ".submit_queue_depth")
 
     # ------------------------------------------------------------------
     # Driver protocol
@@ -62,6 +66,7 @@ class Engine:
         if self._draining:
             raise RuntimeError("submit after drain on %s" % (self.name,))
         self.queue.put((ctx, spec))
+        self._t_submit_depth.set(len(self.queue))
 
     def drain(self):
         """No more submissions; workers exit once the queue empties."""
@@ -89,3 +94,33 @@ class Engine:
     def _execute(self, worker, ctx, spec):
         """Generator: run one transaction to completion (subclass hook)."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def observe_txn(self, ctx, committed):
+        """Publish one finished transaction's outcome and latency.
+
+        Engines call this right after ``tracer.end_transaction``.  The
+        latency histogram is keyed by transaction type, so a snapshot
+        carries per-type tails (NewOrder vs Payment ...) without keeping
+        per-transaction samples.
+        """
+        tm = self.telemetry
+        if not tm.enabled:
+            return
+        if committed:
+            self._t_committed.inc()
+            tm.histogram(
+                "%s.latency.%s" % (self.name, ctx.txn_type)
+            ).observe(self.sim.now - ctx.birth)
+        else:
+            self._t_failed.inc()
+            tm.event(
+                "engine.txn_failed",
+                engine=self.name,
+                txn=ctx.txn_id,
+                txn_type=ctx.txn_type,
+                attempts=ctx.attempts,
+            )

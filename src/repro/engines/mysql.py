@@ -150,6 +150,7 @@ class MySQLEngine(Engine):
             scheduler,
             wait_timeout=self.config.lock_wait_timeout,
             bookkeeping=self.config.lock_sys_bookkeeping,
+            release_rng=streams.stream("mysql.lockmgr_release"),
         )
         self.data_disk = Disk(
             sim, streams.stream("mysql.data_disk"), self.config.data_disk, "data"
@@ -209,6 +210,7 @@ class MySQLEngine(Engine):
         if not committed:
             self.failed_txns += 1
         tracer.end_transaction(ctx, committed)
+        self.observe_txn(ctx, committed)
 
     def _do_command(self, worker, ctx, spec):
         ok = yield from self.tracer.traced(

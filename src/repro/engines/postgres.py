@@ -115,6 +115,7 @@ class PostgresEngine(Engine):
                 self.config.scheduler, rng=streams.stream("postgres.scheduler")
             ),
             wait_timeout=self.config.lock_wait_timeout,
+            release_rng=streams.stream("postgres.lockmgr_release"),
         )
         wal_config = WALConfig(block_size=self.config.wal_block_size)
         if self.config.parallel_wal:
@@ -155,6 +156,7 @@ class PostgresEngine(Engine):
         if not committed:
             self.failed_txns += 1
         tracer.end_transaction(ctx, committed)
+        self.observe_txn(ctx, committed)
 
     def _exec_query(self, ctx, spec):
         ok = yield from self.tracer.traced(

@@ -117,9 +117,16 @@ class LockManager:
         bookkeeping_base=0.8,
         bookkeeping_per_entry=0.25,
         head_scan_fraction=0.3,
+        release_rng=None,
     ):
         self.sim = sim
         self.scheduler = scheduler
+        # When set (a seeded random.Random), the 2PL shrink releases a
+        # transaction's locks in random order, modelling the effectively
+        # arbitrary order real servers wake waiters across objects (lock
+        # hash-bucket order, OS scheduling).  Seeded, so runs stay a pure
+        # function of (config, seed); None falls back to acquisition order.
+        self._release_rng = release_rng
         bind = getattr(scheduler, "bind_manager", None)
         if bind is not None:
             bind(self)
@@ -145,6 +152,19 @@ class LockManager:
         # scheduling decisions behind the Appendix C.2 age-vs-remaining
         # correlation study (Figure 8).
         self.grant_log = []
+        # Telemetry instruments (no-ops when the run carries none).  The
+        # wait-time histogram is keyed by queue discipline so scheduler
+        # comparisons can assert against the distribution directly.
+        tm = sim.telemetry
+        self._tm = tm
+        self._t_requests = tm.counter("lockmgr.requests")
+        self._t_immediate = tm.counter("lockmgr.immediate_grants")
+        self._t_waits = tm.counter("lockmgr.waits")
+        self._t_grants_after_wait = tm.counter("lockmgr.grants_after_wait")
+        self._t_deadlocks = tm.counter("lockmgr.deadlocks")
+        self._t_timeouts = tm.counter("lockmgr.timeouts")
+        self._t_wait_hist = tm.histogram("lockmgr.wait_time.%s" % scheduler.name)
+        self._t_queue_depth = tm.gauge("lockmgr.wait_queue_depth")
 
     # ------------------------------------------------------------------
     # Request / wait / release API
@@ -157,10 +177,12 @@ class LockManager:
         or DEADLOCK (granting it would close a waits-for cycle).
         """
         self.total_requests += 1
+        self._t_requests.inc()
         held = self._held.setdefault(ctx, {})
         current = held.get(obj_id)
         if current is not None and stronger_or_equal(current, mode):
             self.immediate_grants += 1
+            self._t_immediate.inc()
             return self._already_granted(ctx, obj_id, current)
 
         self._seq += 1
@@ -172,6 +194,7 @@ class LockManager:
         if self._can_grant_on_arrival(obj, request):
             self._grant(obj, request)
             self.immediate_grants += 1
+            self._t_immediate.inc()
             return request
 
         obj.waiting.append(request)
@@ -179,11 +202,20 @@ class LockManager:
             self._remove_waiter(obj, request)
             request.status = RequestStatus.DEADLOCK
             self.deadlocks += 1
+            self._t_deadlocks.inc()
+            self._tm.event(
+                "lockmgr.deadlock",
+                txn=ctx.txn_id,
+                obj=str(obj_id),
+                mode=mode.value,
+            )
             return request
 
         request.event = self.sim.event()
         self._waiting_request[ctx] = request
         self.total_waits += 1
+        self._t_waits.inc()
+        self._t_queue_depth.set(len(obj.waiting))
         return request
 
     def wait(self, request):
@@ -195,7 +227,9 @@ class LockManager:
             return request.status
         started = self.sim.now
         fired = yield WaitEvent(request.event, timeout=self.wait_timeout)
-        self.total_wait_time += self.sim.now - started
+        waited = self.sim.now - started
+        self.total_wait_time += waited
+        self._t_wait_hist.observe(waited)
         self._waiting_request.pop(request.txn, None)
         if not fired and request.status is RequestStatus.WAITING:
             obj = self._objects.get(request.obj_id)
@@ -204,6 +238,13 @@ class LockManager:
                 self._grant_pass(obj)
             request.status = RequestStatus.TIMEOUT
             self.timeouts += 1
+            self._t_timeouts.inc()
+            self._tm.event(
+                "lockmgr.timeout",
+                txn=request.txn.txn_id,
+                obj=str(request.obj_id),
+                waited=waited,
+            )
         return request.status
 
     # -- lock_sys bookkeeping (InnoDB hash-bucket scans) -----------------
@@ -264,12 +305,17 @@ class LockManager:
         grant pass on each touched object.
         """
         waiting = self._waiting_request.pop(ctx, None)
-        touched = set()
+        # Ordered set (insertion = lock-acquisition order).  Iterating a
+        # plain set of obj_ids would wake waiters in str-hash order, which
+        # varies with PYTHONHASHSEED and breaks cross-process
+        # reproducibility; the randomised wake order is reintroduced
+        # deterministically below via ``release_rng``.
+        touched = {}
         if waiting is not None and waiting.status is RequestStatus.WAITING:
             obj = self._objects.get(waiting.obj_id)
             if obj is not None:
                 self._remove_waiter(obj, waiting)
-                touched.add(waiting.obj_id)
+                touched[waiting.obj_id] = None
             waiting.status = RequestStatus.CANCELLED
         held = self._held.pop(ctx, {})
         for obj_id in held:
@@ -277,8 +323,11 @@ class LockManager:
             if obj is None:
                 continue
             obj.granted = [r for r in obj.granted if r.txn is not ctx]
-            touched.add(obj_id)
-        for obj_id in touched:
+            touched[obj_id] = None
+        order = list(touched)
+        if self._release_rng is not None and len(order) > 1:
+            self._release_rng.shuffle(order)
+        for obj_id in order:
             obj = self._objects.get(obj_id)
             if obj is None:
                 continue
@@ -333,6 +382,7 @@ class LockManager:
         request.granted_at = self.sim.now
         if request.event is not None:
             self.grant_log.append((request.txn, self.sim.now))
+            self._t_grants_after_wait.inc()
         obj.granted.append(request)
         held = self._held.setdefault(request.txn, {})
         if request.upgrade or request.mode is LockMode.X:

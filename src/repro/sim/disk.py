@@ -129,6 +129,16 @@ class Disk:
         self.reads = 0
         self.flushes = 0
         self.bytes_written = 0
+        # Telemetry.  The horizon model has no explicit queue, so depth
+        # is reported as the FIFO delay a request pays before service —
+        # the quantity that amplifies the flush tail under pile-ups.
+        tm = sim.telemetry
+        prefix = "disk.%s" % name
+        self._t_reads = tm.counter(prefix + ".reads")
+        self._t_writes = tm.counter(prefix + ".writes")
+        self._t_flushes = tm.counter(prefix + ".flushes")
+        self._t_queue_delay = tm.histogram(prefix + ".queue_delay")
+        self._t_service = tm.histogram(prefix + ".service_time")
 
     @property
     def queue_delay(self):
@@ -142,12 +152,15 @@ class Disk:
     def _serve(self, service_time):
         """Generator: FIFO-queue then hold for ``service_time``."""
         start = max(self.sim.now, self._busy_until)
+        self._t_queue_delay.observe(start - self.sim.now)
+        self._t_service.observe(service_time)
         self._busy_until = start + service_time
         yield Timeout(self._busy_until - self.sim.now)
 
     def write(self, nbytes):
         """Generator: a buffered write of ``nbytes`` (no durability)."""
         self.writes += 1
+        self._t_writes.inc()
         self.bytes_written += nbytes
         service = (
             self._write_dist.sample(self.rng)
@@ -166,6 +179,7 @@ class Disk:
         if nblocks <= 0:
             return
         self.writes += nblocks
+        self._t_writes.inc(nblocks)
         self.bytes_written += nblocks * block_bytes
         per_call = self._write_dist.sample(self.rng)
         service = nblocks * (
@@ -176,6 +190,7 @@ class Disk:
     def read(self, nbytes):
         """Generator: a random read of ``nbytes``."""
         self.reads += 1
+        self._t_reads.inc()
         service = (
             self._read_dist.sample(self.rng)
             + nbytes / self.config.bandwidth_bytes_per_us
@@ -190,6 +205,7 @@ class Disk:
         call hits a Pareto-tailed stall.
         """
         self.flushes += 1
+        self._t_flushes.inc()
         service = self._flush_dist.sample(self.rng)
         yield from self._serve(service)
 

@@ -22,6 +22,8 @@ the initial configuration and the random seeds.
 
 from heapq import heappop, heappush
 
+from repro.telemetry.registry import NULL_REGISTRY
+
 
 class SimulationError(Exception):
     """Raised for kernel misuse (e.g. negative delays, re-firing events)."""
@@ -135,14 +137,25 @@ class Process:
 
 
 class Simulator:
-    """The event loop: a virtual clock plus a heap of scheduled wakeups."""
+    """The event loop: a virtual clock plus a heap of scheduled wakeups.
 
-    def __init__(self):
+    ``telemetry`` is the run's :class:`~repro.telemetry.MetricsRegistry`
+    (or the shared null registry); every subsystem built on this
+    simulator reads it from here, so one constructor argument plumbs
+    observability through the whole stack.
+    """
+
+    def __init__(self, telemetry=None):
         self.now = 0.0
         self.current = None
+        self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
         self._heap = []
         self._seq = 0
         self._spawned = 0
+        self._t_enabled = self.telemetry.enabled
+        self._t_dispatches = self.telemetry.counter("sim.dispatches")
+        self._t_spawns = self.telemetry.counter("sim.spawns")
+        self._t_runq_depth = self.telemetry.gauge("sim.runq_depth")
 
     # ------------------------------------------------------------------
     # Public API
@@ -153,6 +166,8 @@ class Simulator:
         if name is None:
             name = "proc-%d" % self._spawned
         self._spawned += 1
+        if self._t_enabled:
+            self._t_spawns.inc()
         process = Process(self, gen, name)
         self._schedule(0, process, None)
         return process
@@ -167,6 +182,7 @@ class Simulator:
         Returns the final virtual time.
         """
         heap = self._heap
+        telemetry_on = self._t_enabled
         while heap:
             time, _seq, process, value = heappop(heap)
             if until is not None and time > until:
@@ -175,6 +191,9 @@ class Simulator:
                 self.now = until
                 return self.now
             self.now = time
+            if telemetry_on:
+                self._t_dispatches.inc()
+                self._t_runq_depth.set(len(heap))
             self._resume(process, value)
         return self.now
 

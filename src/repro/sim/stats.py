@@ -12,6 +12,25 @@ import math
 import numpy as np
 
 
+def _as_sample(values, what):
+    """Validate a sample: reject empty input and NaN values loudly.
+
+    ``np.percentile``/``var`` silently propagate NaN (or emit a runtime
+    warning and return NaN), which turns one corrupted latency into a
+    silently wrong figure several layers up — every public helper here
+    fails fast instead.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("%s of empty sample" % (what,))
+    if np.isnan(arr).any():
+        raise ValueError(
+            "%s of sample containing NaN (%d of %d values)"
+            % (what, int(np.isnan(arr).sum()), arr.size)
+        )
+    return arr
+
+
 def lp_norm(values, p=2.0, normalized=False):
     """The Lp norm of eq. (4): ``(sum |l_i|^p)^(1/p)``.
 
@@ -20,9 +39,7 @@ def lp_norm(values, p=2.0, normalized=False):
     when comparing schedulers on runs with slightly different completion
     counts).
     """
-    arr = np.asarray(values, dtype=float)
-    if arr.size == 0:
-        raise ValueError("lp_norm of empty sample")
+    arr = _as_sample(values, "lp_norm")
     if p < 1.0:
         raise ValueError("Lp norm requires p >= 1, got %r" % (p,))
     if math.isinf(p):
@@ -37,9 +54,11 @@ def covariance(xs, ys):
     xs = np.asarray(xs, dtype=float)
     ys = np.asarray(ys, dtype=float)
     if xs.shape != ys.shape:
-        raise ValueError("covariance of mismatched samples")
-    if xs.size == 0:
-        raise ValueError("covariance of empty sample")
+        raise ValueError(
+            "covariance of mismatched samples (%r vs %r)" % (xs.shape, ys.shape)
+        )
+    xs = _as_sample(xs, "covariance")
+    ys = _as_sample(ys, "covariance")
     return float(np.mean((xs - xs.mean()) * (ys - ys.mean())))
 
 
@@ -47,6 +66,12 @@ def correlation(xs, ys):
     """Pearson correlation; 0.0 if either sample is constant."""
     xs = np.asarray(xs, dtype=float)
     ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape:
+        raise ValueError(
+            "correlation of mismatched samples (%r vs %r)" % (xs.shape, ys.shape)
+        )
+    xs = _as_sample(xs, "correlation")
+    ys = _as_sample(ys, "correlation")
     sx = xs.std()
     sy = ys.std()
     if sx == 0.0 or sy == 0.0:
@@ -88,9 +113,7 @@ class LatencySummary:
 
 def summarize(values):
     """Compute a :class:`LatencySummary` over a latency sample."""
-    arr = np.asarray(values, dtype=float)
-    if arr.size == 0:
-        raise ValueError("summarize of empty sample")
+    arr = _as_sample(values, "summarize")
     mean = float(arr.mean())
     variance = float(arr.var())
     std = math.sqrt(variance)

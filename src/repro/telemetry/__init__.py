@@ -1,0 +1,36 @@
+"""Simulated-time telemetry: metrics registry, quantile sketches, events.
+
+The observability layer the paper's method presumes: every substrate
+(kernel, lock manager, buffer pool, WAL, disk, engines) publishes
+counters, gauges and streaming histograms into a per-run
+:class:`MetricsRegistry`, stamped with the virtual clock, plus a bounded
+structured event log.  ``registry.snapshot()`` is the metrics report the
+benchmark runner attaches to every run.
+
+Emitters consume zero virtual time, so telemetry never perturbs results;
+the :data:`NULL_REGISTRY` disabled mode reduces the wall-time cost to a
+cached no-op call (skipped entirely in the kernel dispatch loop).
+"""
+
+from repro.telemetry.events import EventLog, TelemetryEvent
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+from repro.telemetry.sketch import GKSketch
+
+__all__ = [
+    "Counter",
+    "EventLog",
+    "GKSketch",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "TelemetryEvent",
+]

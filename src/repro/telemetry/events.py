@@ -1,0 +1,79 @@
+"""Structured event log with bounded ring-buffer retention.
+
+Rare-but-diagnostic occurrences (deadlock aborts, lock-wait timeouts,
+failed transactions) are recorded as structured events stamped with the
+virtual clock.  Retention is a ring buffer: once ``capacity`` events are
+held the oldest are dropped (and counted), so a pathological run cannot
+exhaust memory.  Export is JSON lines with sorted keys, which makes the
+log byte-comparable across same-seed runs — the determinism tests rely
+on this.
+"""
+
+import json
+from collections import deque
+
+
+class TelemetryEvent:
+    """One structured occurrence at a virtual-clock instant."""
+
+    __slots__ = ("t", "kind", "fields")
+
+    def __init__(self, t, kind, fields):
+        self.t = t
+        self.kind = kind
+        self.fields = fields
+
+    def to_dict(self):
+        record = {"t": self.t, "kind": self.kind}
+        record.update(self.fields)
+        return record
+
+    def __repr__(self):
+        return "TelemetryEvent(t=%r, kind=%r, %r)" % (self.t, self.kind, self.fields)
+
+
+class EventLog:
+    """Bounded FIFO of :class:`TelemetryEvent` with JSONL export."""
+
+    def __init__(self, capacity=65536):
+        if capacity < 1:
+            raise ValueError("event log capacity must be >= 1")
+        self.capacity = capacity
+        self._events = deque(maxlen=capacity)
+        self.emitted = 0
+
+    def __len__(self):
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    @property
+    def dropped(self):
+        """Events lost to ring-buffer eviction."""
+        return self.emitted - len(self._events)
+
+    def emit(self, t, kind, fields):
+        self.emitted += 1
+        self._events.append(TelemetryEvent(t, kind, fields))
+
+    def to_jsonl(self):
+        """The retained events as JSON lines (sorted keys, stable floats)."""
+        return "\n".join(
+            json.dumps(event.to_dict(), sort_keys=True) for event in self._events
+        )
+
+    def dump(self, path):
+        """Write the JSONL export to ``path`` (trailing newline included)."""
+        text = self.to_jsonl()
+        with open(path, "w") as handle:
+            handle.write(text)
+            if text:
+                handle.write("\n")
+
+    def __repr__(self):
+        return "<EventLog %d/%d dropped=%d>" % (
+            len(self._events),
+            self.capacity,
+            self.dropped,
+        )

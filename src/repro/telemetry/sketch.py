@@ -1,0 +1,107 @@
+"""Streaming quantile estimation without sample retention.
+
+The telemetry registry records latency distributions for every hot path
+(lock waits, mutex hold times, disk service) over runs of millions of
+observations; keeping the samples would dwarf the simulation state.
+:class:`GKSketch` implements the Greenwald-Khanna summary: it stores a
+bounded set of ``(value, g, delta)`` tuples and answers any quantile
+query with *rank* error at most ``epsilon * n`` — the guarantee the
+property tests in ``tests/test_telemetry_sketch.py`` check against
+``numpy.percentile`` on retained samples.
+
+All state updates are pure functions of the observation sequence, so a
+sketch fed by a deterministic simulation is itself deterministic and can
+be compared byte-for-byte across same-seed runs.
+"""
+
+import math
+
+
+class GKSketch:
+    """Greenwald-Khanna epsilon-approximate quantile summary.
+
+    ``observe`` is amortised O(log s) for a summary of s tuples;
+    ``quantile(q)`` returns a stored value whose rank in the observed
+    stream is within ``epsilon * n`` of ``ceil(q * n)``.
+    """
+
+    __slots__ = ("epsilon", "n", "_entries", "_compress_interval")
+
+    def __init__(self, epsilon=0.01):
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1), got %r" % (epsilon,))
+        self.epsilon = epsilon
+        self.n = 0
+        # Sorted list of [value, g, delta]: g is the gap in minimum rank
+        # to the previous tuple, delta the uncertainty span.
+        self._entries = []
+        self._compress_interval = max(1, int(1.0 / (2.0 * epsilon)))
+
+    def observe(self, value):
+        """Fold one observation into the summary."""
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("cannot observe NaN")
+        entries = self._entries
+        lo, hi = 0, len(entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if entries[mid][0] <= value:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0 or lo == len(entries):
+            # New minimum or maximum: must be exact (delta = 0).
+            delta = 0
+        else:
+            delta = int(math.floor(2.0 * self.epsilon * self.n))
+        entries.insert(lo, [value, 1, delta])
+        self.n += 1
+        if self.n % self._compress_interval == 0:
+            self._compress()
+
+    def _compress(self):
+        """Merge adjacent tuples whose combined band fits the invariant."""
+        entries = self._entries
+        if len(entries) < 3:
+            return
+        threshold = 2.0 * self.epsilon * self.n
+        # Never merge away the first or last tuple: they pin min and max.
+        i = len(entries) - 3
+        while i >= 1:
+            cur = entries[i]
+            nxt = entries[i + 1]
+            if cur[1] + nxt[1] + nxt[2] < threshold:
+                nxt[1] += cur[1]
+                del entries[i]
+            i -= 1
+
+    def quantile(self, q):
+        """A value whose rank is within ``epsilon * n`` of ``ceil(q * n)``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile q must be in [0, 1], got %r" % (q,))
+        if self.n == 0:
+            raise ValueError("quantile of empty sketch")
+        entries = self._entries
+        target = math.ceil(q * self.n)
+        margin = self.epsilon * self.n
+        rmin = 0
+        prev_value = entries[0][0]
+        for value, g, delta in entries:
+            rmin += g
+            if rmin + delta > target + margin:
+                return prev_value
+            prev_value = value
+        return entries[-1][0]
+
+    @property
+    def size(self):
+        """Number of tuples retained (bounded ~O(log(eps*n)/eps))."""
+        return len(self._entries)
+
+    def __repr__(self):
+        return "GKSketch(epsilon=%r, n=%d, size=%d)" % (
+            self.epsilon,
+            self.n,
+            self.size,
+        )

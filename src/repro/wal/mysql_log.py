@@ -69,6 +69,15 @@ class RedoLog:
         # each one was exposed to a crash for some window (Appendix B's
         # forward-progress risk of the lazy policies).
         self.exposed_commits = 0
+        # Telemetry: flush sizes and group-commit batching are the two
+        # levers behind the eager policy's amortisation.
+        tm = sim.telemetry
+        prefix = "wal.%s" % name
+        self._t_commits = tm.counter(prefix + ".commits")
+        self._t_flush_rounds = tm.counter(prefix + ".flush_rounds")
+        self._t_exposed = tm.counter(prefix + ".exposed_commits")
+        self._t_flush_bytes = tm.histogram(prefix + ".flush_bytes")
+        self._t_group_size = tm.histogram(prefix + ".group_commit_size")
 
     # ------------------------------------------------------------------
     # Transaction-side API
@@ -100,6 +109,8 @@ class RedoLog:
             )
         if lsn > self.durable_lsn:
             self.exposed_commits += 1
+            self._t_exposed.inc()
+        self._t_commits.inc()
         self._commits.append((lsn, txn_id if txn_id is not None else ctx.txn_id))
         return lsn
 
@@ -115,26 +126,36 @@ class RedoLog:
                     yield WaitEvent(self._round_done)
                     continue
                 # Without group commit, queue for the device directly.
+                self._t_flush_bytes.observe(max(0, lsn - self.written_lsn))
                 yield from self.disk.write(lsn - self.written_lsn)
                 self.written_lsn = max(self.written_lsn, lsn)
                 yield from self.tracer.traced(
                     ctx, "fil_flush", self.disk.flush()
                 )
                 self.durable_lsn = max(self.durable_lsn, lsn)
+                self._t_flush_rounds.inc()
+                self._t_group_size.observe(1)
                 return
             # Leader: flush everything appended so far.
             self._flush_in_progress = True
             self._round_done = self.sim.event()
             target = self.current_lsn
             pending = max(0, target - self.written_lsn)
+            self._t_flush_bytes.observe(pending)
             if pending:
                 yield from self.disk.write(pending)
             self.written_lsn = max(self.written_lsn, target)
             yield from self.tracer.traced(ctx, "fil_flush", self.disk.flush())
             self.durable_lsn = max(self.durable_lsn, target)
             self.flush_rounds += 1
+            self._t_flush_rounds.inc()
             done, self._round_done = self._round_done, None
             self._flush_in_progress = False
+            # Followers still parked on the round event rode this flush:
+            # leader + followers is the group-commit batch size.
+            group = 1 + sum(1 for w in done._waiters if w.active)
+            self.group_sizes.append(group)
+            self._t_group_size.observe(group)
             done.fire()
 
     # ------------------------------------------------------------------
@@ -164,9 +185,11 @@ class RedoLog:
                 yield from self.disk.write(pending_write)
             self.written_lsn = max(self.written_lsn, target)
             if self.written_lsn > self.durable_lsn:
+                self._t_flush_bytes.observe(self.written_lsn - self.durable_lsn)
                 yield from self.disk.flush()
                 self.durable_lsn = self.written_lsn
                 self.flush_rounds += 1
+                self._t_flush_rounds.inc()
             elif self.current_lsn == target:
                 # Idle round and nothing arrived meanwhile: park.
                 self._flusher_started = False

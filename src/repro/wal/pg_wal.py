@@ -51,6 +51,14 @@ class WALWriter:
         self.flush_rounds = 0
         self.lock_waits = 0
         self._commits = []
+        # Telemetry: WALWriteLock contention and per-round flush sizes.
+        tm = sim.telemetry
+        prefix = "wal.%s" % name
+        self._t_commits = tm.counter(prefix + ".commits")
+        self._t_lock_waits = tm.counter(prefix + ".lock_waits")
+        self._t_flush_rounds = tm.counter(prefix + ".flush_rounds")
+        self._t_flush_bytes = tm.histogram(prefix + ".flush_bytes")
+        self._t_wait_depth = tm.gauge(prefix + ".lock_queue_depth")
 
     @property
     def busy(self):
@@ -88,8 +96,10 @@ class WALWriter:
                     )
                     self.durable_lsn = max(self.durable_lsn, target)
                     self.flush_rounds += 1
+                    self._t_flush_rounds.inc()
             finally:
                 self._release()
+        self._t_commits.inc()
         self._commits.append((lsn, txn_id if txn_id is not None else ctx.txn_id))
         return lsn
 
@@ -106,8 +116,10 @@ class WALWriter:
             self._locked = True
             return True
         self.lock_waits += 1
+        self._t_lock_waits.inc()
         event = self.sim.event()
         self._wait_queue.append(event)
+        self._t_wait_depth.set(len(self._wait_queue))
         yield WaitEvent(event)
         return bool(event.value)
 
@@ -127,6 +139,7 @@ class WALWriter:
     def _xlog_write(self, target_lsn):
         """Generator: write pending WAL up to ``target_lsn`` in whole blocks."""
         pending = max(0, target_lsn - self.written_lsn)
+        self._t_flush_bytes.observe(pending)
         if pending:
             nblocks = int(math.ceil(pending / float(self.config.block_size)))
             yield from self.disk.write_blocks(nblocks, self.config.block_size)

@@ -140,3 +140,57 @@ class TestSummarize:
     def test_repr_is_informative(self):
         s = summarize([1.0, 2.0])
         assert "mean" in repr(s)
+
+
+class TestEdgeCaseHardening:
+    """Empty-sample and NaN inputs must fail loudly, never propagate.
+
+    A NaN latency fed to numpy percentile/variance silently poisons the
+    result (or merely warns); every helper rejects it with a message
+    naming the helper so figure drift is traceable to the bad sample.
+    """
+
+    NAN_SAMPLE = [1.0, float("nan"), 3.0]
+
+    def test_lp_norm_rejects_nan(self):
+        with pytest.raises(ValueError, match="lp_norm.*NaN"):
+            lp_norm(self.NAN_SAMPLE, p=2.0)
+
+    def test_summarize_rejects_nan(self):
+        with pytest.raises(ValueError, match="summarize.*NaN"):
+            summarize(self.NAN_SAMPLE)
+
+    def test_covariance_rejects_nan(self):
+        with pytest.raises(ValueError, match="covariance.*NaN"):
+            covariance(self.NAN_SAMPLE, [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="covariance.*NaN"):
+            covariance([1.0, 2.0, 3.0], self.NAN_SAMPLE)
+
+    def test_correlation_rejects_nan(self):
+        with pytest.raises(ValueError, match="correlation.*NaN"):
+            correlation(self.NAN_SAMPLE, [1.0, 2.0, 3.0])
+
+    def test_covariance_rejects_empty(self):
+        with pytest.raises(ValueError, match="covariance of empty"):
+            covariance([], [])
+
+    def test_correlation_rejects_empty(self):
+        with pytest.raises(ValueError, match="correlation of empty"):
+            correlation([], [])
+
+    def test_correlation_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="mismatched"):
+            correlation([1.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_error_messages_count_nans(self):
+        with pytest.raises(ValueError, match="1 of 3"):
+            summarize(self.NAN_SAMPLE)
+
+    def test_no_warnings_on_valid_input(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            summarize([1.0, 2.0, 3.0])
+            correlation([1.0, 2.0], [2.0, 1.0])
+            lp_norm([1.0], p=math.inf)

@@ -1,0 +1,150 @@
+"""The GK quantile sketch: rank-error guarantee vs numpy, edge cases."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.telemetry.sketch import GKSketch
+
+
+def rank_interval(sorted_values, value):
+    """[lo, hi] 1-based rank range that ``value`` occupies in the data."""
+    lo = np.searchsorted(sorted_values, value, side="left") + 1
+    hi = np.searchsorted(sorted_values, value, side="right")
+    return lo, max(lo, hi)
+
+
+def assert_within_guarantee(sketch, data, quantiles):
+    """The returned value's true rank is within eps*n of the target rank."""
+    ordered = np.sort(np.asarray(data, dtype=float))
+    n = len(ordered)
+    margin = sketch.epsilon * n
+    for q in quantiles:
+        estimate = sketch.quantile(q)
+        target = math.ceil(q * n)
+        lo, hi = rank_interval(ordered, estimate)
+        # The estimate is always a stored (i.e. observed) value, so its
+        # rank interval must intersect [target - margin, target + margin].
+        assert lo <= target + margin + 1e-9, (q, estimate, lo, target, margin)
+        assert hi >= target - margin - 1e-9, (q, estimate, hi, target, margin)
+
+
+QUANTILES = (0.0, 0.01, 0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0)
+
+
+class TestRankErrorGuarantee:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("epsilon", [0.05, 0.01])
+    def test_uniform_stream(self, seed, epsilon):
+        rng = random.Random(seed)
+        sketch = GKSketch(epsilon)
+        data = [rng.uniform(0.0, 1000.0) for _ in range(5000)]
+        for v in data:
+            sketch.observe(v)
+        assert_within_guarantee(sketch, data, QUANTILES)
+
+    def test_heavy_tailed_stream(self):
+        rng = random.Random(99)
+        sketch = GKSketch(0.02)
+        data = [rng.paretovariate(1.5) for _ in range(8000)]
+        for v in data:
+            sketch.observe(v)
+        assert_within_guarantee(sketch, data, QUANTILES)
+
+    def test_sorted_and_reversed_streams(self):
+        for order in (1, -1):
+            data = [float(i) for i in range(3000)][::order]
+            sketch = GKSketch(0.02)
+            for v in data:
+                sketch.observe(v)
+            assert_within_guarantee(sketch, data, QUANTILES)
+
+    def test_close_to_numpy_percentile(self):
+        """Value error sanity: estimates land near numpy's percentiles
+        (value distance bounded by the local density around the rank)."""
+        rng = random.Random(7)
+        data = [rng.gauss(100.0, 15.0) for _ in range(10_000)]
+        sketch = GKSketch(0.01)
+        for v in data:
+            sketch.observe(v)
+        arr = np.asarray(data)
+        for q in (0.5, 0.9, 0.99):
+            estimate = sketch.quantile(q)
+            lo = float(np.percentile(arr, max(0.0, (q - 0.02) * 100)))
+            hi = float(np.percentile(arr, min(100.0, (q + 0.02) * 100)))
+            assert lo <= estimate <= hi
+
+    def test_space_stays_bounded(self):
+        sketch = GKSketch(0.01)
+        rng = random.Random(5)
+        for _ in range(50_000):
+            sketch.observe(rng.random())
+        # Retained tuples grow ~ (1/eps) * log(eps * n), far below n.
+        assert sketch.size < 2500
+
+
+class TestEdgeCases:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty sketch"):
+            GKSketch(0.01).quantile(0.5)
+
+    def test_single_element(self):
+        sketch = GKSketch(0.01)
+        sketch.observe(42.0)
+        for q in QUANTILES:
+            assert sketch.quantile(q) == 42.0
+
+    def test_all_equal(self):
+        sketch = GKSketch(0.01)
+        for _ in range(1000):
+            sketch.observe(7.5)
+        for q in QUANTILES:
+            assert sketch.quantile(q) == 7.5
+
+    def test_two_values_extremes(self):
+        sketch = GKSketch(0.01)
+        sketch.observe(1.0)
+        sketch.observe(2.0)
+        assert sketch.quantile(0.0) == 1.0
+        assert sketch.quantile(1.0) == 2.0
+
+    def test_min_max_preserved_under_compression(self):
+        rng = random.Random(11)
+        data = [rng.uniform(10.0, 20.0) for _ in range(20_000)]
+        sketch = GKSketch(0.05)
+        for v in data:
+            sketch.observe(v)
+        assert sketch.quantile(0.0) == min(data)
+        assert sketch.quantile(1.0) == max(data)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            GKSketch(0.01).observe(float("nan"))
+
+    def test_rejects_bad_epsilon(self):
+        for epsilon in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError):
+                GKSketch(epsilon)
+
+    def test_rejects_bad_quantile(self):
+        sketch = GKSketch(0.01)
+        sketch.observe(1.0)
+        for q in (-0.1, 1.1):
+            with pytest.raises(ValueError):
+                sketch.quantile(q)
+
+    def test_determinism(self):
+        def build():
+            rng = random.Random(3)
+            sketch = GKSketch(0.02)
+            for _ in range(4000):
+                sketch.observe(rng.expovariate(0.01))
+            return sketch
+
+        a, b = build(), build()
+        assert a._entries == b._entries
+        assert [a.quantile(q) for q in QUANTILES] == [
+            b.quantile(q) for q in QUANTILES
+        ]
