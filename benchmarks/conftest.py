@@ -67,6 +67,7 @@ def _config_key(config):
         tuple(sorted(config.instrumented)),
         config.probe_cost,
         config.telemetry,
+        _stable(config.fault_plan),
     )
 
 

@@ -1,0 +1,111 @@
+"""Fault-driven variance appearing in the variance tree.
+
+The paper's methodology is top-down: whatever moves latency variance
+must show up as a factor in the variance tree, whether the cause is
+inherent (flush tails, lock waits) or injected.  These smoke tests run
+the deterministic chaos subsystem (``repro.faults``) at tiny N and
+check two things:
+
+- chaos runs are exactly as reproducible as clean runs (byte-identical
+  telemetry under a fixed seed + plan), and
+- a log-device brownout window materialises in the tree where the paper
+  says disk variance lives — ``fil_flush``'s share of overall variance
+  rises sharply against the un-faulted baseline.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.runner import ExperimentConfig, run_experiment
+from repro.core.variance_tree import VarianceTree
+from repro.faults import named_plan
+
+pytestmark = pytest.mark.smoke_bench
+
+N_TXNS = 600
+
+MYSQL_COMMIT_PATH = (
+    "do_command",
+    "dispatch_command",
+    "mysql_execute_command",
+    "innobase_commit",
+    "trx_commit",
+    "log_write_up_to",
+    "fil_flush",
+)
+
+
+def chaos_config(plan=None, **overrides):
+    # 64 warehouses and a moderate offered rate: enough contention to be
+    # realistic, but lock waits and queueing do not drown the disk signal
+    # the brownout test looks for.
+    fields = dict(
+        engine="mysql",
+        workload="tpcc",
+        workload_kwargs={"warehouses": 64},
+        seed=31,
+        n_txns=N_TXNS,
+        rate_tps=200.0,
+        warmup_fraction=0.0,
+        instrumented=MYSQL_COMMIT_PATH,
+        fault_plan=plan,
+    )
+    fields.update(overrides)
+    return ExperimentConfig(**fields)
+
+
+def test_chaos_run_deterministic_and_noisier_than_baseline():
+    config = chaos_config(plan=named_plan("full-chaos", io_error_prob=0.03))
+    first = run_experiment(config)
+    second = run_experiment(config)
+    assert first.event_log_jsonl() == second.event_log_jsonl()
+    assert json.dumps(first.metrics_snapshot(), sort_keys=True) == json.dumps(
+        second.metrics_snapshot(), sort_keys=True
+    )
+    assert first.latencies == second.latencies
+    assert first.sim.faults.io_errors > 0
+    baseline = run_experiment(chaos_config(plan=None))
+    print()
+    print(
+        "  full-chaos: io_errors=%d crashes=%d  variance %.3g vs baseline %.3g"
+        % (
+            first.sim.faults.io_errors,
+            first.sim.faults.worker_crashes,
+            first.summary.variance,
+            baseline.summary.variance,
+        )
+    )
+    # Chaos must actually hurt: injected faults add latency variance.
+    assert first.summary.variance > baseline.summary.variance
+
+
+def test_log_brownout_surfaces_as_fil_flush_variance():
+    """A brownout window on the log device shows up exactly where the
+    paper's Table 1 puts disk variance: in ``fil_flush``'s share."""
+    baseline = run_experiment(chaos_config(plan=None))
+    brownout = run_experiment(
+        chaos_config(
+            plan=named_plan(
+                "log-brownout",
+                # Half the run (600 txns at 200 tps = 3 s of virtual time)
+                # spent in brownout: flushes become bimodal.
+                brownout_windows=((750_000.0, 1_500_000.0),),
+                brownout_factor=10.0,
+            )
+        )
+    )
+    base_share = VarianceTree(baseline.traces).name_shares().get("fil_flush", 0.0)
+    chaos_tree = VarianceTree(brownout.traces)
+    chaos_share = chaos_tree.name_shares().get("fil_flush", 0.0)
+    print()
+    print(
+        "  fil_flush variance share: baseline %.2f%% -> brownout %.2f%%"
+        % (100.0 * base_share, 100.0 * chaos_share)
+    )
+    # The injected fault turns fil_flush from a negligible node into a
+    # first-order one (order-of-magnitude share growth).
+    assert chaos_share > 0.05
+    assert chaos_share > 10.0 * base_share
+    # The window was announced through telemetry for auditability.
+    assert '"fault.window_active"' in brownout.event_log_jsonl()

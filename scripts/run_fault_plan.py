@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Run a named fault plan against an engine and dump its telemetry.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_fault_plan.py full-chaos
+    PYTHONPATH=src python scripts/run_fault_plan.py io-errors \\
+        --engine postgres --n-txns 500 --seed 7 --out events.jsonl
+
+Prints per-reason abort/failure counts, injected-fault totals and the
+latency summary; ``--out`` writes the structured telemetry event log as
+JSON lines (one event per line, keys sorted — byte-comparable across
+runs with the same seed and plan).
+"""
+
+import argparse
+import sys
+
+from repro.bench.runner import ExperimentConfig, run_experiment
+from repro.faults import NAMED_PLANS, named_plan
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        description="Run one deterministic fault plan and report the damage."
+    )
+    parser.add_argument(
+        "plan",
+        choices=sorted(NAMED_PLANS) + ["none"],
+        help="named fault plan from repro.faults (or 'none' for a baseline)",
+    )
+    parser.add_argument("--engine", default="mysql",
+                        choices=["mysql", "postgres", "voltdb"])
+    parser.add_argument("--workload", default="tpcc")
+    parser.add_argument("--n-txns", type=int, default=600)
+    parser.add_argument("--rate-tps", type=float, default=500.0)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", metavar="FILE",
+                        help="write the telemetry event log (JSONL) here")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    plan = None if args.plan == "none" else named_plan(args.plan)
+    config = ExperimentConfig(
+        engine=args.engine,
+        workload=args.workload,
+        seed=args.seed,
+        n_txns=args.n_txns,
+        rate_tps=args.rate_tps,
+        warmup_fraction=0.0,
+        fault_plan=plan,
+    )
+    result = run_experiment(config)
+
+    committed = len(result.log.committed)
+    print("plan=%s engine=%s workload=%s seed=%d n_txns=%d"
+          % (args.plan, args.engine, args.workload, args.seed, args.n_txns))
+    print("committed=%d failed=%d shed=%d" % (
+        committed, result.failed_txns, result.shed_txns))
+    for label, counts in (("aborts", result.abort_counts),
+                          ("failed", result.failed_counts)):
+        for reason in sorted(counts):
+            print("  %s.%s=%d" % (label, reason, counts[reason]))
+    for fault, count in sorted(result.fault_counts.items()):
+        print("  faults.%s=%d" % (fault, count))
+    summary = result.summary
+    print("latency: mean=%.0fus p99=%.0fus variance=%.3g"
+          % (summary.mean, summary.p99, summary.variance))
+
+    if args.out:
+        jsonl = result.event_log_jsonl()
+        with open(args.out, "w") as fh:
+            fh.write(jsonl)
+        print("wrote %d events to %s" % (len(jsonl.splitlines()), args.out))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

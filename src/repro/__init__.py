@@ -38,6 +38,15 @@ from repro.bench import (
     ratios,
     run_experiment,
 )
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    NAMED_PLANS,
+    NO_FAULTS,
+    RetryPolicy,
+    TransientIOError,
+    named_plan,
+)
 from repro.core import (
     CallGraph,
     NaiveProfiler,
@@ -69,11 +78,16 @@ __all__ = [
     "EngineProfiledSystem",
     "ExperimentConfig",
     "FCFSScheduler",
+    "FaultInjector",
+    "FaultPlan",
     "LockManager",
     "LockMode",
+    "NAMED_PLANS",
+    "NO_FAULTS",
     "NaiveProfiler",
     "ParameterSweep",
     "RandomScheduler",
+    "RetryPolicy",
     "RunResult",
     "Simulator",
     "Streams",
@@ -81,6 +95,7 @@ __all__ = [
     "Tracer",
     "TransactionContext",
     "TransactionLog",
+    "TransientIOError",
     "TuningAdvisor",
     "VATSScheduler",
     "VarianceTree",
@@ -88,6 +103,7 @@ __all__ = [
     "lp_norm",
     "make_scheduler",
     "make_workload",
+    "named_plan",
     "ratio_row",
     "ratios",
     "render_profile",

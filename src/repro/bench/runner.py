@@ -14,6 +14,7 @@ remaining committed transactions.
 
 from repro.core.annotations import TransactionLog
 from repro.core.tracing import Tracer
+from repro.faults.injector import NO_FAULTS, FaultInjector
 from repro.engines.mysql import MySQLConfig, MySQLEngine, mysql_callgraph
 from repro.engines.postgres import PostgresConfig, PostgresEngine, postgres_callgraph
 from repro.engines.voltdb import VoltDBConfig, VoltDBEngine, voltdb_callgraph
@@ -52,6 +53,7 @@ class ExperimentConfig:
         instrumented=(),
         probe_cost=0.0,
         telemetry=True,
+        fault_plan=None,
     ):
         if engine not in _ENGINES:
             raise ValueError("unknown engine %r" % (engine,))
@@ -69,6 +71,10 @@ class ExperimentConfig:
         # never change a run's results — only whether a metrics snapshot
         # is available afterwards.
         self.telemetry = telemetry
+        # Optional repro.faults.FaultPlan; None (or a plan with nothing
+        # configured) wires the NO_FAULTS null injector, which keeps the
+        # run byte-identical to a build without the fault subsystem.
+        self.fault_plan = fault_plan
 
     def replaced(self, **overrides):
         """A copy of this config with fields replaced."""
@@ -84,6 +90,7 @@ class ExperimentConfig:
             "instrumented": self.instrumented,
             "probe_cost": self.probe_cost,
             "telemetry": self.telemetry,
+            "fault_plan": self.fault_plan,
         }
         fields.update(overrides)
         return ExperimentConfig(**fields)
@@ -135,6 +142,39 @@ class RunResult:
     def summary(self):
         return summarize(self.latencies)
 
+    # -- robustness accounting -----------------------------------------
+
+    @property
+    def abort_counts(self):
+        """Per-reason per-attempt abort counts (``deadlock``/``timeout``...)."""
+        return dict(self.engine.aborts_by_reason)
+
+    @property
+    def failed_counts(self):
+        """Per-reason counts of transactions that never committed."""
+        return dict(self.engine.failed_by_reason)
+
+    @property
+    def failed_txns(self):
+        """Transactions that never committed, across all reasons."""
+        return self.engine.failed_txns
+
+    @property
+    def shed_txns(self):
+        """Arrivals rejected by the bounded submission queue."""
+        return self.engine.failed_by_reason.get("shed", 0)
+
+    @property
+    def fault_counts(self):
+        """Injected-fault totals for the run (empty dict when no plan)."""
+        faults = self.sim.faults
+        if not faults.enabled:
+            return {}
+        return {
+            "io_errors": faults.io_errors,
+            "worker_crashes": faults.worker_crashes,
+        }
+
     @property
     def throughput_tps(self):
         """Completed transactions per second of virtual time."""
@@ -157,9 +197,14 @@ class RunResult:
 def run_experiment(config):
     """Execute one :class:`ExperimentConfig` to completion."""
     registry = MetricsRegistry() if config.telemetry else NULL_REGISTRY
-    sim = Simulator(telemetry=registry)
-    registry.bind_clock(sim)
     streams = Streams(config.seed)
+    plan = config.fault_plan
+    if plan is not None and plan.enabled:
+        faults = FaultInjector(plan, streams, telemetry=registry)
+    else:
+        faults = NO_FAULTS
+    sim = Simulator(telemetry=registry, faults=faults)
+    registry.bind_clock(sim)
     workload = make_workload(config.workload, **config.workload_kwargs)
     log = TransactionLog()
     engine_cls, _config_cls, callgraph_factory = _ENGINES[config.engine]

@@ -88,6 +88,7 @@ class TransactionContext:
         "start_time",
         "end_time",
         "attempts",
+        "abort_reason",
         "durations",
         "under",
         "stack",
@@ -104,6 +105,10 @@ class TransactionContext:
         self.start_time = None
         self.end_time = None
         self.attempts = 0
+        # Why the most recent attempt aborted ("deadlock", "timeout",
+        # "shed", "deadline"); None while no abort has happened.  The
+        # engines' per-reason abort/failure accounting keys off this.
+        self.abort_reason = None
         self.durations = {}
         self.under = {}
         self.stack = []

@@ -1,4 +1,4 @@
-"""Shared engine machinery: the worker pool and driver protocol.
+"""Shared engine machinery: the worker pool, retries, and degradation.
 
 Engines process transactions with a fixed pool of worker processes
 consuming a submission queue — the thread-per-connection (MySQL) and
@@ -8,7 +8,8 @@ count.  VoltDB overrides the worker loop with its task-concurrent model.
 
 Driver protocol::
 
-    engine.submit(ctx, spec)   # called by the load driver per arrival
+    engine.submit(ctx, spec)   # called by the load driver per arrival;
+                               # returns False when the txn was shed
     ...
     engine.drain()             # after the last submission: workers stop
                                # once the queue empties
@@ -16,9 +17,34 @@ Driver protocol::
 Each worker owns the per-thread state the substrates need (the Lazy LRU
 Update backlog lives here, matching the paper's "thread-local backlog of
 deferred LRU updates").
+
+Robustness machinery shared by the lock-based engines:
+
+- **One retry loop.**  ``_execute`` runs ``_attempt`` (the subclass hook)
+  under the engine's :class:`~repro.faults.RetryPolicy` — exponential
+  backoff with jitter drawn from a *dedicated* seeded stream, so retry
+  activity never perturbs the engine's other draws.  Aborts and final
+  failures are accounted per reason (``deadlock``/``timeout``/``shed``/
+  ``deadline``) and surfaced on ``RunResult``.
+- **Graceful degradation.**  ``max_queue_depth`` bounds the submission
+  queue — an arrival that finds it full is *shed* (rejected immediately)
+  instead of growing the backlog without bound; ``txn_deadline`` gives
+  up on transactions whose age exceeds the budget, both at dequeue and
+  between retry attempts.  Both default to off, preserving the open-loop
+  measurement methodology of the paper's experiments.
+- **Worker crash-and-restart.**  Under an active fault plan, a seeded
+  coin crashes the dequeuing worker: it loses its thread-local state,
+  pays a restart delay (the recovery-time histogram in telemetry), and
+  then resumes — the queued transaction survives and simply waits.
 """
 
+from repro.faults.retry import RetryPolicy
+from repro.sim.kernel import Timeout
 from repro.sim.resources import WaitQueue
+
+#: Canonical abort/failure reasons; anything else an engine reports is
+#: still counted, these are just the ones the stack itself produces.
+ABORT_REASONS = ("deadlock", "timeout", "shed", "deadline")
 
 
 class _Shutdown:
@@ -28,12 +54,13 @@ class _Shutdown:
 class Worker:
     """One server thread: identity + thread-local state."""
 
-    __slots__ = ("worker_id", "llu_backlog", "txns_executed")
+    __slots__ = ("worker_id", "llu_backlog", "txns_executed", "crashes")
 
     def __init__(self, worker_id):
         self.worker_id = worker_id
         self.llu_backlog = []
         self.txns_executed = 0
+        self.crashes = 0
 
 
 class Engine:
@@ -41,32 +68,65 @@ class Engine:
 
     name = "abstract"
 
-    def __init__(self, sim, tracer, n_workers):
+    def __init__(
+        self,
+        sim,
+        tracer,
+        n_workers,
+        retry_policy=None,
+        retry_rng=None,
+        max_queue_depth=None,
+        txn_deadline=None,
+    ):
         self.sim = sim
         self.tracer = tracer
         self.telemetry = sim.telemetry
+        self.faults = sim.faults
         self.n_workers = n_workers
+        self.retry_policy = retry_policy or RetryPolicy(max_attempts=1)
+        self.retry_rng = retry_rng
+        self.max_queue_depth = max_queue_depth
+        self.txn_deadline = txn_deadline
         self.queue = WaitQueue(sim, name=self.name + ".submit")
         self.workers = [Worker(i) for i in range(n_workers)]
+        self._draining = False
+        # Per-reason robustness accounting (exposed via RunResult).
+        self.aborts_by_reason = {}
+        self.failed_by_reason = {}
+        self.worker_crashes = 0
+        self._t_committed = self.telemetry.counter(self.name + ".txns_committed")
+        self._t_failed = self.telemetry.counter(self.name + ".txns_failed")
+        self._t_shed = self.telemetry.counter(self.name + ".txns_shed")
+        self._t_retries = self.telemetry.counter(self.name + ".txn_retries")
+        self._t_submit_depth = self.telemetry.gauge(self.name + ".submit_queue_depth")
         self._worker_procs = [
             sim.spawn(self._worker_loop(worker), name="%s.worker%d" % (self.name, i))
             for i, worker in enumerate(self.workers)
         ]
-        self._draining = False
-        self._t_committed = self.telemetry.counter(self.name + ".txns_committed")
-        self._t_failed = self.telemetry.counter(self.name + ".txns_failed")
-        self._t_submit_depth = self.telemetry.gauge(self.name + ".submit_queue_depth")
 
     # ------------------------------------------------------------------
     # Driver protocol
     # ------------------------------------------------------------------
 
     def submit(self, ctx, spec):
-        """Enqueue one transaction for execution."""
+        """Enqueue one transaction; returns False when it was shed.
+
+        With ``max_queue_depth`` set, an arrival that finds the
+        submission queue full is rejected immediately — bounded queues
+        trade a fast, explicit failure for the unbounded latency tail an
+        overloaded open loop would otherwise build.
+        """
         if self._draining:
             raise RuntimeError("submit after drain on %s" % (self.name,))
+        if (
+            self.max_queue_depth is not None
+            and len(self.queue) >= self.max_queue_depth
+        ):
+            self._give_up(ctx, "shed")
+            return False
         self.queue.put((ctx, spec))
         self._t_submit_depth.set(len(self.queue))
+        return True
 
     def drain(self):
         """No more submissions; workers exit once the queue empties."""
@@ -83,17 +143,105 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _worker_loop(self, worker):
+        faults = self.faults
         while True:
             item = yield from self.queue.get()
             if item is _Shutdown:
                 return
             ctx, spec = item
+            if faults.enabled:
+                restart = faults.worker_crash(self.name, worker.worker_id)
+                if restart is not None:
+                    # Crash-and-restart: thread-local state is lost, the
+                    # restart delay is paid, and the dequeued transaction
+                    # (still safely queued from the client's view) runs
+                    # after recovery.
+                    self.worker_crashes += 1
+                    worker.crashes += 1
+                    worker.llu_backlog = []
+                    yield Timeout(restart)
+            if (
+                self.txn_deadline is not None
+                and self.sim.now - ctx.birth >= self.txn_deadline
+            ):
+                self._give_up(ctx, "deadline")
+                continue
             worker.txns_executed += 1
             yield from self._execute(worker, ctx, spec)
 
     def _execute(self, worker, ctx, spec):
-        """Generator: run one transaction to completion (subclass hook)."""
+        """Generator: run one transaction under the engine's retry policy.
+
+        Subclasses with a retryable abort path implement ``_attempt``;
+        task-concurrent engines (VoltDB) override ``_execute`` wholesale.
+        """
+        tracer = self.tracer
+        policy = self.retry_policy
+        tracer.begin_transaction(ctx)
+        committed = False
+        reason = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                ctx.attempts += 1
+                self._t_retries.inc()
+                policy.note_retry(reason or "abort")
+                yield Timeout(policy.backoff(attempt, self.retry_rng))
+                if (
+                    self.txn_deadline is not None
+                    and self.sim.now - ctx.birth >= self.txn_deadline
+                ):
+                    reason = "deadline"
+                    break
+            ctx.abort_reason = None
+            ok = yield from self._attempt(worker, ctx, spec)
+            if ok:
+                committed = True
+                break
+            reason = ctx.abort_reason or "abort"
+            self._count_abort(reason)
+        if not committed:
+            final = reason or "abort"
+            ctx.abort_reason = final
+            policy.note_give_up(final)
+            self._count_failed(final)
+        tracer.end_transaction(ctx, committed)
+        self.observe_txn(ctx, committed)
+
+    def _attempt(self, worker, ctx, spec):
+        """Generator: one attempt; True on commit (subclass hook)."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Per-reason accounting
+    # ------------------------------------------------------------------
+
+    def _count_abort(self, reason):
+        self.aborts_by_reason[reason] = self.aborts_by_reason.get(reason, 0) + 1
+        self.telemetry.counter("%s.aborts.%s" % (self.name, reason)).inc()
+
+    def _count_failed(self, reason):
+        self.failed_by_reason[reason] = self.failed_by_reason.get(reason, 0) + 1
+        self.telemetry.counter("%s.failed.%s" % (self.name, reason)).inc()
+
+    def _give_up(self, ctx, reason):
+        """Reject ``ctx`` without executing it (shed / missed deadline)."""
+        ctx.abort_reason = reason
+        self._count_failed(reason)
+        if reason == "shed":
+            self._t_shed.inc()
+        self.tracer.begin_transaction(ctx)
+        self.tracer.end_transaction(ctx, committed=False)
+        self.observe_txn(ctx, committed=False)
+
+    @property
+    def aborts(self):
+        """Total per-attempt aborts across reasons (derived)."""
+        return sum(self.aborts_by_reason.values())
+
+    @property
+    def failed_txns(self):
+        """Transactions that never committed, across reasons (derived)."""
+        return sum(self.failed_by_reason.values())
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -123,4 +271,5 @@ class Engine:
                 txn=ctx.txn_id,
                 txn_type=ctx.txn_type,
                 attempts=ctx.attempts,
+                reason=ctx.abort_reason or "abort",
             )

@@ -28,13 +28,15 @@ profiles name the functions Table 1 names:
             log_write_up_to -> fil_flush
 
 Locks are held to commit (strict 2PL); a deadlock or lock-wait timeout
-aborts the attempt, releases everything, and retries after a randomized
-backoff — latency is measured from first submission to final commit, as
-the paper's client does.
+aborts the attempt, releases everything, and retries under the base
+engine's :class:`~repro.faults.RetryPolicy` (exponential backoff with
+jitter from the dedicated ``mysql.retry`` stream) — latency is measured
+from first submission to final commit, as the paper's client does.
 """
 
 from repro.core.callgraph import CallGraph
 from repro.engines.base import Engine
+from repro.faults.retry import RetryPolicy
 from repro.lockmgr.locks import LockMode
 from repro.lockmgr.manager import LockManager, RequestStatus
 from repro.lockmgr.scheduling import make_scheduler
@@ -107,6 +109,8 @@ class MySQLConfig:
         lock_wait_timeout=10_000_000.0,
         max_attempts=12,
         backoff_range=(500.0, 2000.0),
+        max_queue_depth=None,
+        txn_deadline=None,
     ):
         self.scheduler = scheduler
         self.strict_vats_arrival = strict_vats_arrival
@@ -129,6 +133,8 @@ class MySQLConfig:
         self.lock_wait_timeout = lock_wait_timeout
         self.max_attempts = max_attempts
         self.backoff_range = backoff_range
+        self.max_queue_depth = max_queue_depth
+        self.txn_deadline = txn_deadline
 
 
 class MySQLEngine(Engine):
@@ -136,7 +142,20 @@ class MySQLEngine(Engine):
 
     def __init__(self, sim, tracer, workload, streams, config=None):
         self.config = config or MySQLConfig()
-        super().__init__(sim, tracer, self.config.n_workers)
+        cfg = self.config
+        super().__init__(
+            sim,
+            tracer,
+            cfg.n_workers,
+            retry_policy=RetryPolicy(
+                max_attempts=cfg.max_attempts,
+                base_backoff=cfg.backoff_range[0],
+                max_backoff=cfg.backoff_range[1],
+            ),
+            retry_rng=streams.stream("mysql.retry"),
+            max_queue_depth=cfg.max_queue_depth,
+            txn_deadline=cfg.txn_deadline,
+        )
         self.workload = workload
         self.catalog = TableCatalog.from_schema(workload.schema)
         self.rng = streams.stream("mysql.engine")
@@ -184,33 +203,17 @@ class MySQLEngine(Engine):
                 group_commit=self.config.group_commit,
             ),
         )
-        self.aborts = 0
-        self.failed_txns = 0
 
     # ------------------------------------------------------------------
     # Transaction execution
     # ------------------------------------------------------------------
 
-    def _execute(self, worker, ctx, spec):
-        tracer = self.tracer
-        tracer.begin_transaction(ctx)
-        committed = False
-        for attempt in range(self.config.max_attempts):
-            if attempt:
-                ctx.attempts += 1
-                lo, hi = self.config.backoff_range
-                yield Timeout(self.rng.uniform(lo, hi))
-            ok = yield from tracer.traced(
-                ctx, "do_command", self._do_command(worker, ctx, spec)
-            )
-            if ok:
-                committed = True
-                break
-            self.aborts += 1
-        if not committed:
-            self.failed_txns += 1
-        tracer.end_transaction(ctx, committed)
-        self.observe_txn(ctx, committed)
+    def _attempt(self, worker, ctx, spec):
+        """Generator: one attempt; retries run in the base engine's loop."""
+        ok = yield from self.tracer.traced(
+            ctx, "do_command", self._do_command(worker, ctx, spec)
+        )
+        return ok
 
     def _do_command(self, worker, ctx, spec):
         ok = yield from self.tracer.traced(
@@ -335,7 +338,12 @@ class MySQLEngine(Engine):
                 self._lock_wait_suspend(ctx, request, site),
                 site=site,
             )
-        return request.status is RequestStatus.GRANTED
+        if request.status is RequestStatus.GRANTED:
+            return True
+        ctx.abort_reason = (
+            "deadlock" if request.status is RequestStatus.DEADLOCK else "timeout"
+        )
+        return False
 
     def _lock_wait_suspend(self, ctx, request, site):
         yield from self.tracer.traced(

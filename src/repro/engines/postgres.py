@@ -29,6 +29,7 @@ two-disk parallel-logging scheme (Section 6.2).
 
 from repro.core.callgraph import CallGraph
 from repro.engines.base import Engine
+from repro.faults.retry import RetryPolicy
 from repro.lockmgr.locks import LockMode
 from repro.lockmgr.manager import LockManager, RequestStatus
 from repro.lockmgr.scheduling import make_scheduler
@@ -75,6 +76,8 @@ class PostgresConfig:
         lock_wait_timeout=10_000_000.0,
         max_attempts=12,
         backoff_range=(500.0, 2000.0),
+        max_queue_depth=None,
+        txn_deadline=None,
     ):
         self.scheduler = scheduler
         self.n_workers = n_workers
@@ -96,6 +99,8 @@ class PostgresConfig:
         self.lock_wait_timeout = lock_wait_timeout
         self.max_attempts = max_attempts
         self.backoff_range = backoff_range
+        self.max_queue_depth = max_queue_depth
+        self.txn_deadline = txn_deadline
 
 
 class PostgresEngine(Engine):
@@ -103,7 +108,20 @@ class PostgresEngine(Engine):
 
     def __init__(self, sim, tracer, workload, streams, config=None):
         self.config = config or PostgresConfig()
-        super().__init__(sim, tracer, self.config.n_workers)
+        cfg = self.config
+        super().__init__(
+            sim,
+            tracer,
+            cfg.n_workers,
+            retry_policy=RetryPolicy(
+                max_attempts=cfg.max_attempts,
+                base_backoff=cfg.backoff_range[0],
+                max_backoff=cfg.backoff_range[1],
+            ),
+            retry_rng=streams.stream("postgres.retry"),
+            max_queue_depth=cfg.max_queue_depth,
+            txn_deadline=cfg.txn_deadline,
+        )
         self.workload = workload
         self.catalog = TableCatalog.from_schema(
             workload.schema, row_bytes=self.config.row_bytes
@@ -130,33 +148,17 @@ class PostgresEngine(Engine):
         self._index_cpu = LogNormal(
             self.config.index_cpu_mean, self.config.index_cpu_cv
         )
-        self.aborts = 0
-        self.failed_txns = 0
 
     # ------------------------------------------------------------------
     # Transaction execution
     # ------------------------------------------------------------------
 
-    def _execute(self, worker, ctx, spec):
-        tracer = self.tracer
-        tracer.begin_transaction(ctx)
-        committed = False
-        for attempt in range(self.config.max_attempts):
-            if attempt:
-                ctx.attempts += 1
-                lo, hi = self.config.backoff_range
-                yield Timeout(self.rng.uniform(lo, hi))
-            ok = yield from tracer.traced(
-                ctx, "exec_simple_query", self._exec_query(ctx, spec)
-            )
-            if ok:
-                committed = True
-                break
-            self.aborts += 1
-        if not committed:
-            self.failed_txns += 1
-        tracer.end_transaction(ctx, committed)
-        self.observe_txn(ctx, committed)
+    def _attempt(self, worker, ctx, spec):
+        """Generator: one attempt; retries run in the base engine's loop."""
+        ok = yield from self.tracer.traced(
+            ctx, "exec_simple_query", self._exec_query(ctx, spec)
+        )
+        return ok
 
     def _exec_query(self, ctx, spec):
         ok = yield from self.tracer.traced(
@@ -223,7 +225,12 @@ class PostgresEngine(Engine):
             yield from self.tracer.traced(
                 ctx, "ProcSleep", self.lockmgr.wait(request)
             )
-        return request.status is RequestStatus.GRANTED
+        if request.status is RequestStatus.GRANTED:
+            return True
+        ctx.abort_reason = (
+            "deadlock" if request.status is RequestStatus.DEADLOCK else "timeout"
+        )
+        return False
 
     # ------------------------------------------------------------------
     # Commit

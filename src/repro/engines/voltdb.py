@@ -43,6 +43,8 @@ class VoltDBConfig:
         stall_scale=7_000.0,
         stall_alpha=2.2,
         init_fraction=0.15,
+        max_queue_depth=None,
+        txn_deadline=None,
     ):
         if n_workers < 1:
             raise ValueError("need at least one worker")
@@ -57,6 +59,8 @@ class VoltDBConfig:
         self.stall_scale = stall_scale
         self.stall_alpha = stall_alpha
         self.init_fraction = init_fraction
+        self.max_queue_depth = max_queue_depth
+        self.txn_deadline = txn_deadline
 
 
 class VoltDBEngine(Engine):
@@ -64,7 +68,13 @@ class VoltDBEngine(Engine):
 
     def __init__(self, sim, tracer, workload, streams, config=None):
         self.config = config or VoltDBConfig()
-        super().__init__(sim, tracer, self.config.n_workers)
+        super().__init__(
+            sim,
+            tracer,
+            self.config.n_workers,
+            max_queue_depth=self.config.max_queue_depth,
+            txn_deadline=self.config.txn_deadline,
+        )
         self.workload = workload
         self.rng = streams.stream("voltdb.engine")
         self.queue_waits = []

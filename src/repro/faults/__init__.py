@@ -1,0 +1,40 @@
+"""Deterministic fault injection: plans, the injector, retry/backoff.
+
+The paper's testbed held faults constant to isolate the scheduling,
+buffer and logging variance sources; production systems add fault-driven
+variance on top — fsync brownouts, transient I/O errors, worker crashes,
+overload.  This package injects those *controllably*: every fault comes
+from a declarative :class:`FaultPlan` executed by a :class:`FaultInjector`
+that draws only from its own seeded streams, so a chaos run is as
+reproducible as a clean one and fault-driven variance can be attributed
+with the same variance-tree machinery as everything else.
+
+- :class:`FaultPlan` / :func:`named_plan` — what goes wrong, when.
+- :class:`FaultInjector` / :data:`NO_FAULTS` — runtime injection; the
+  null object keeps the disabled path byte-identical to no subsystem.
+- :class:`RetryPolicy` — the one retry/backoff discipline (engines'
+  deadlock retries, WAL I/O retries), with per-reason accounting.
+- :class:`TransientIOError` — the retryable injected I/O failure.
+
+See ``docs/faults.md`` for the fault catalogue and determinism rules.
+"""
+
+from repro.faults.plan import NAMED_PLANS, FaultPlan, named_plan
+from repro.faults.retry import RetryPolicy
+from repro.faults.injector import (
+    FaultInjector,
+    NO_FAULTS,
+    NullFaultInjector,
+    TransientIOError,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "NAMED_PLANS",
+    "NO_FAULTS",
+    "NullFaultInjector",
+    "RetryPolicy",
+    "TransientIOError",
+    "named_plan",
+]

@@ -1,0 +1,203 @@
+"""The fault injector: seeded draws + window checks behind one object.
+
+A :class:`FaultInjector` is the run-time half of a :class:`~repro.faults
+.plan.FaultPlan`.  It is attached to the :class:`~repro.sim.kernel
+.Simulator` (``sim.faults``), exactly as telemetry is, so every subsystem
+reaches it without new constructor plumbing.
+
+Determinism rules (the same discipline as ``repro.sim.rand.Streams``):
+
+- Every random decision draws from a *dedicated* named stream
+  (``faults.io_error``, ``faults.crash``, ``faults.retry``), so enabling
+  one fault class never perturbs another, and none of them perturbs the
+  base simulation's streams.
+- Window-based faults (brownouts, lock storms, arrival bursts) draw no
+  random numbers at all: they are pure virtual-clock comparisons.
+- The disabled path is the shared :data:`NO_FAULTS` null object whose
+  predicates are constant; subsystems check ``faults.enabled`` first, so
+  a run without a fault plan executes the identical instruction sequence
+  it did before this module existed.
+
+Every injected fault is published through the run's telemetry: an event
+per occurrence (``fault.io_error``, ``fault.worker_crash``), a one-shot
+``fault.window_active`` event the first time each configured window is
+observed active, per-class counters, and a recovery-time histogram for
+worker restarts.
+"""
+
+from repro.faults.plan import in_window
+from repro.telemetry.registry import NULL_REGISTRY
+
+
+class TransientIOError(Exception):
+    """An injected, retryable I/O failure on a simulated device."""
+
+
+class FaultInjector:
+    """Draws and window checks for one run's :class:`FaultPlan`."""
+
+    enabled = True
+
+    def __init__(self, plan, streams, telemetry=None):
+        self.plan = plan
+        self._tm = telemetry if telemetry is not None else NULL_REGISTRY
+        self._io_rng = streams.stream("faults.io_error")
+        self._crash_rng = streams.stream("faults.crash")
+        #: Dedicated stream for retry-backoff jitter in layers that have
+        #: no Streams of their own (the WAL writers).  Engines use their
+        #: own ``<engine>.retry`` stream.
+        self.retry_rng = streams.stream("faults.retry")
+        self.io_errors = 0
+        self.worker_crashes = 0
+        self._t_io_errors = self._tm.counter("faults.io_errors")
+        self._t_crashes = self._tm.counter("faults.worker_crashes")
+        self._t_restart = self._tm.histogram("faults.worker_restart_time")
+        self._announced = set()
+
+    def _announce(self, kind, index, start, duration):
+        key = (kind, index)
+        if key in self._announced:
+            return
+        self._announced.add(key)
+        self._tm.event(
+            "fault.window_active", fault=kind, index=index, start=start, window=duration
+        )
+
+    # ------------------------------------------------------------------
+    # Disk faults (sim/disk.py)
+    # ------------------------------------------------------------------
+
+    def disk_latency_factor(self, disk_name, now):
+        """Service-time multiplier for ``disk_name`` at virtual time ``now``."""
+        plan = self.plan
+        if not plan.brownout_windows or disk_name not in plan.brownout_disks:
+            return 1.0
+        index = in_window(plan.brownout_windows, now)
+        if index is None:
+            return 1.0
+        start, duration = plan.brownout_windows[index]
+        self._announce("brownout", index, start, duration)
+        return plan.brownout_factor
+
+    def io_error(self, disk_name, op):
+        """Seeded coin: should this disk operation fail transiently?"""
+        plan = self.plan
+        if (
+            plan.io_error_prob <= 0.0
+            or disk_name not in plan.io_error_disks
+            or op not in plan.io_error_ops
+        ):
+            return False
+        if self._io_rng.random() >= plan.io_error_prob:
+            return False
+        self.io_errors += 1
+        self._t_io_errors.inc()
+        self._tm.event("fault.io_error", disk=disk_name, op=op)
+        return True
+
+    # ------------------------------------------------------------------
+    # Lock manager faults (lockmgr/manager.py)
+    # ------------------------------------------------------------------
+
+    def lock_wait_timeout(self, now, timeout):
+        """Effective lock-wait timeout at ``now`` (shrinks during storms)."""
+        plan = self.plan
+        if not plan.lock_storm_windows:
+            return timeout
+        index = in_window(plan.lock_storm_windows, now)
+        if index is None:
+            return timeout
+        start, duration = plan.lock_storm_windows[index]
+        self._announce("lock_storm", index, start, duration)
+        return min(timeout, plan.lock_storm_timeout)
+
+    # ------------------------------------------------------------------
+    # Worker faults (engines/base.py)
+    # ------------------------------------------------------------------
+
+    def worker_crash(self, engine_name, worker_id):
+        """Seeded coin: crash the dequeuing worker?
+
+        Returns the restart delay (microseconds) when the worker crashes,
+        or None.  The delay is drawn from the same dedicated stream as the
+        coin, so one crash consumes exactly two draws.
+        """
+        plan = self.plan
+        if plan.crash_prob <= 0.0:
+            return None
+        if self._crash_rng.random() >= plan.crash_prob:
+            return None
+        lo, hi = plan.restart_delay_range
+        delay = self._crash_rng.uniform(lo, hi)
+        self.worker_crashes += 1
+        self._t_crashes.inc()
+        self._t_restart.observe(delay)
+        self._tm.event(
+            "fault.worker_crash",
+            engine=engine_name,
+            worker=worker_id,
+            restart=delay,
+        )
+        return delay
+
+    # ------------------------------------------------------------------
+    # Driver faults (workloads/driver.py)
+    # ------------------------------------------------------------------
+
+    def arrival_rate_factor(self, now):
+        """Offered-rate multiplier at ``now`` (> 1 during bursts)."""
+        plan = self.plan
+        if not plan.burst_windows:
+            return 1.0
+        index = in_window(plan.burst_windows, now)
+        if index is None:
+            return 1.0
+        start, duration = plan.burst_windows[index]
+        self._announce("burst", index, start, duration)
+        return plan.burst_rate_factor
+
+    def __repr__(self):
+        return "<FaultInjector %s io_errors=%d crashes=%d>" % (
+            self.plan.name,
+            self.io_errors,
+            self.worker_crashes,
+        )
+
+
+class NullFaultInjector:
+    """The disabled injector: constant predicates, zero draws, zero time.
+
+    Shared as :data:`NO_FAULTS`.  Subsystems check ``enabled`` before
+    calling anything else, so the per-operation cost of the disabled path
+    is one attribute read — and the simulated instruction sequence is
+    identical to a build without the fault subsystem.
+    """
+
+    enabled = False
+    plan = None
+    retry_rng = None
+    io_errors = 0
+    worker_crashes = 0
+
+    def disk_latency_factor(self, disk_name, now):
+        return 1.0
+
+    def io_error(self, disk_name, op):
+        return False
+
+    def lock_wait_timeout(self, now, timeout):
+        return timeout
+
+    def worker_crash(self, engine_name, worker_id):
+        return None
+
+    def arrival_rate_factor(self, now):
+        return 1.0
+
+    def __repr__(self):
+        return "<NullFaultInjector>"
+
+
+#: Shared disabled injector; the simulator defaults to this when the run
+#: carries no fault plan (mirrors ``telemetry.NULL_REGISTRY``).
+NO_FAULTS = NullFaultInjector()

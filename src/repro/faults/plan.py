@@ -1,0 +1,236 @@
+"""Declarative fault plans: what goes wrong, when, and how badly.
+
+A :class:`FaultPlan` is pure configuration — plain numbers and virtual-time
+windows, no RNG state and no simulator references — so two runs built from
+equal plans and equal seeds are byte-identical.  The plan describes five
+fault classes, each injected at a different layer of the stack:
+
+- **Disk brownouts** (``sim/disk.py``): during a window, every service
+  time on the named disks is multiplied by ``brownout_factor`` — the
+  fsync-brownout / noisy-neighbour regime.
+- **Transient I/O errors** (``sim/disk.py`` → retried in ``wal/``): a
+  seeded per-operation coin makes a write or flush fail after paying an
+  error-detection latency; the WAL layers retry with backoff.
+- **Worker crash-and-restart** (``engines/base.py``): a seeded per-task
+  coin crashes the dequeuing worker, which loses its thread-local state
+  and pays a restart delay before picking the task back up.
+- **Lock-wait-timeout storms** (``lockmgr/manager.py``): during a window
+  the effective lock-wait timeout collapses to ``lock_storm_timeout``,
+  turning long waits into timeout-abort-retry storms.
+- **Arrival bursts** (``workloads/driver.py``): during a window the open
+  loop compresses interarrival gaps by ``burst_rate_factor`` — the
+  overload regime that exercises load shedding and deadlines.
+
+Windows are ``(start, duration)`` pairs in virtual microseconds.  Windows
+and probability-zero faults cost *nothing* when inactive: window checks
+are pure clock comparisons and draw no random numbers, so a plan whose
+windows never overlap the run is indistinguishable from no plan at all.
+"""
+
+import math
+
+
+def _check_windows(name, windows):
+    out = []
+    for window in windows:
+        try:
+            start, duration = window
+        except (TypeError, ValueError):
+            raise ValueError(
+                "%s entries must be (start, duration) pairs, got %r" % (name, window)
+            )
+        start = float(start)
+        duration = float(duration)
+        if not (math.isfinite(start) and math.isfinite(duration)):
+            raise ValueError("%s window must be finite, got %r" % (name, window))
+        if start < 0 or duration <= 0:
+            raise ValueError(
+                "%s window needs start >= 0 and duration > 0, got %r" % (name, window)
+            )
+        out.append((start, duration))
+    return tuple(out)
+
+
+def _check_prob(name, value):
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError("%s must be in [0, 1], got %r" % (name, value))
+    return value
+
+
+def in_window(windows, now):
+    """Index of the window containing ``now`` (half-open), or None."""
+    for index, (start, duration) in enumerate(windows):
+        if start <= now < start + duration:
+            return index
+    return None
+
+
+class FaultPlan:
+    """One run's fault configuration (times in virtual microseconds).
+
+    The default-constructed plan configures nothing and reports
+    ``enabled == False``; the runner then wires the shared
+    :data:`~repro.faults.injector.NO_FAULTS` null injector, keeping the
+    disabled path byte-identical to a build without the subsystem.
+    """
+
+    def __init__(
+        self,
+        name="chaos",
+        # -- disk latency brownouts -----------------------------------
+        brownout_windows=(),
+        brownout_factor=8.0,
+        brownout_disks=("log", "wal0", "wal1"),
+        # -- transient I/O errors -------------------------------------
+        io_error_prob=0.0,
+        io_error_disks=("log", "wal0", "wal1"),
+        io_error_ops=("write", "flush"),
+        io_error_latency=200.0,
+        # -- worker crash-and-restart ---------------------------------
+        crash_prob=0.0,
+        restart_delay_range=(20_000.0, 100_000.0),
+        # -- lock-wait-timeout storms ---------------------------------
+        lock_storm_windows=(),
+        lock_storm_timeout=2_000.0,
+        # -- arrival bursts -------------------------------------------
+        burst_windows=(),
+        burst_rate_factor=3.0,
+    ):
+        self.name = str(name)
+        self.brownout_windows = _check_windows("brownout_windows", brownout_windows)
+        self.brownout_factor = float(brownout_factor)
+        if not math.isfinite(self.brownout_factor) or self.brownout_factor < 1.0:
+            raise ValueError("brownout_factor must be finite and >= 1")
+        self.brownout_disks = tuple(brownout_disks)
+        self.io_error_prob = _check_prob("io_error_prob", io_error_prob)
+        self.io_error_disks = tuple(io_error_disks)
+        self.io_error_ops = tuple(io_error_ops)
+        self.io_error_latency = float(io_error_latency)
+        if not math.isfinite(self.io_error_latency) or self.io_error_latency < 0:
+            raise ValueError("io_error_latency must be finite and >= 0")
+        self.crash_prob = _check_prob("crash_prob", crash_prob)
+        lo, hi = restart_delay_range
+        lo, hi = float(lo), float(hi)
+        if not (math.isfinite(lo) and math.isfinite(hi)) or not 0 <= lo <= hi:
+            raise ValueError(
+                "restart_delay_range needs 0 <= lo <= hi, got %r"
+                % (restart_delay_range,)
+            )
+        self.restart_delay_range = (lo, hi)
+        self.lock_storm_windows = _check_windows(
+            "lock_storm_windows", lock_storm_windows
+        )
+        self.lock_storm_timeout = float(lock_storm_timeout)
+        if not math.isfinite(self.lock_storm_timeout) or self.lock_storm_timeout <= 0:
+            raise ValueError("lock_storm_timeout must be finite and > 0")
+        self.burst_windows = _check_windows("burst_windows", burst_windows)
+        self.burst_rate_factor = float(burst_rate_factor)
+        if not math.isfinite(self.burst_rate_factor) or self.burst_rate_factor < 1.0:
+            raise ValueError("burst_rate_factor must be finite and >= 1")
+
+    @property
+    def enabled(self):
+        """True when the plan configures any fault at all."""
+        return bool(
+            self.brownout_windows
+            or self.io_error_prob > 0.0
+            or self.crash_prob > 0.0
+            or self.lock_storm_windows
+            or self.burst_windows
+        )
+
+    def __repr__(self):
+        return "<FaultPlan %s%s>" % (
+            self.name,
+            "" if self.enabled else " (inert)",
+        )
+
+
+# ----------------------------------------------------------------------
+# Named plan catalogue (see docs/faults.md)
+# ----------------------------------------------------------------------
+#
+# Window defaults assume the chaos demo regime: ~600+ transactions at
+# 500 tps, i.e. at least ~1.2 s of virtual time.  Override via kwargs
+# for longer runs.
+
+
+def _plan_log_brownout(**kw):
+    base = dict(
+        name="log-brownout",
+        brownout_windows=((300_000.0, 300_000.0),),
+        brownout_factor=8.0,
+    )
+    base.update(kw)
+    return FaultPlan(**base)
+
+
+def _plan_io_errors(**kw):
+    base = dict(name="io-errors", io_error_prob=0.05)
+    base.update(kw)
+    return FaultPlan(**base)
+
+
+def _plan_worker_crashes(**kw):
+    base = dict(name="worker-crashes", crash_prob=0.01)
+    base.update(kw)
+    return FaultPlan(**base)
+
+
+def _plan_lock_storm(**kw):
+    base = dict(
+        name="lock-storm",
+        lock_storm_windows=((400_000.0, 300_000.0),),
+        lock_storm_timeout=2_000.0,
+    )
+    base.update(kw)
+    return FaultPlan(**base)
+
+
+def _plan_arrival_burst(**kw):
+    base = dict(
+        name="arrival-burst",
+        burst_windows=((300_000.0, 300_000.0),),
+        burst_rate_factor=4.0,
+    )
+    base.update(kw)
+    return FaultPlan(**base)
+
+
+def _plan_full_chaos(**kw):
+    base = dict(
+        name="full-chaos",
+        brownout_windows=((200_000.0, 250_000.0),),
+        brownout_factor=6.0,
+        io_error_prob=0.02,
+        crash_prob=0.003,
+        lock_storm_windows=((500_000.0, 200_000.0),),
+        lock_storm_timeout=3_000.0,
+        burst_windows=((800_000.0, 200_000.0),),
+        burst_rate_factor=3.0,
+    )
+    base.update(kw)
+    return FaultPlan(**base)
+
+
+NAMED_PLANS = {
+    "log-brownout": _plan_log_brownout,
+    "io-errors": _plan_io_errors,
+    "worker-crashes": _plan_worker_crashes,
+    "lock-storm": _plan_lock_storm,
+    "arrival-burst": _plan_arrival_burst,
+    "full-chaos": _plan_full_chaos,
+}
+
+
+def named_plan(name, **overrides):
+    """Build a plan from the catalogue, with keyword overrides."""
+    try:
+        factory = NAMED_PLANS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown fault plan %r (known: %s)"
+            % (name, ", ".join(sorted(NAMED_PLANS)))
+        )
+    return factory(**overrides)

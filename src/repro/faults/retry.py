@@ -1,0 +1,98 @@
+"""The single retry/backoff policy shared by engines and WAL layers.
+
+Before this module the deadlock-retry loops in ``engines/mysql.py`` and
+``engines/postgres.py`` were copy-pasted, each drawing its backoff from
+the engine's main RNG stream — so an aborted transaction perturbed every
+later engine draw.  :class:`RetryPolicy` centralises the discipline:
+exponential backoff with a cap, multiplicative jitter drawn from a
+*dedicated* seeded stream (the caller passes the stream; the policy holds
+no RNG), a max-attempts bound, and per-reason retry/give-up accounting.
+
+Jitter is deterministic given the stream: two same-seed runs draw the
+same jitter sequence, and the dedicated stream means the rest of the
+simulation is insensitive to how many retries happened — the same
+discipline ``Streams`` enforces everywhere else.
+"""
+
+import math
+
+
+class RetryPolicy:
+    """Exponential backoff + jitter + max attempts + give-up accounting.
+
+    ``backoff(attempt, rng)`` returns the delay (microseconds) to sleep
+    before retry number ``attempt`` (1-based): ``base * multiplier**(n-1)``
+    capped at ``max_backoff``, scaled by a jitter factor uniform in
+    ``[1 - jitter, 1 + jitter]`` drawn from ``rng``.
+    """
+
+    __slots__ = (
+        "max_attempts",
+        "base_backoff",
+        "multiplier",
+        "max_backoff",
+        "jitter",
+        "retries_by_reason",
+        "giveups_by_reason",
+    )
+
+    def __init__(
+        self,
+        max_attempts=12,
+        base_backoff=500.0,
+        multiplier=2.0,
+        max_backoff=2_000.0,
+        jitter=0.5,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not math.isfinite(base_backoff) or base_backoff < 0:
+            raise ValueError("base_backoff must be finite and >= 0")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not math.isfinite(max_backoff) or max_backoff < base_backoff:
+            raise ValueError("max_backoff must be finite and >= base_backoff")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.max_attempts = int(max_attempts)
+        self.base_backoff = float(base_backoff)
+        self.multiplier = float(multiplier)
+        self.max_backoff = float(max_backoff)
+        self.jitter = float(jitter)
+        self.retries_by_reason = {}
+        self.giveups_by_reason = {}
+
+    def backoff(self, attempt, rng):
+        """Delay before retry ``attempt`` (1-based); jitter drawn from ``rng``."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based, got %r" % (attempt,))
+        delay = self.base_backoff * self.multiplier ** (attempt - 1)
+        if delay > self.max_backoff:
+            delay = self.max_backoff
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+    # -- per-reason accounting ------------------------------------------
+
+    def note_retry(self, reason):
+        self.retries_by_reason[reason] = self.retries_by_reason.get(reason, 0) + 1
+
+    def note_give_up(self, reason):
+        self.giveups_by_reason[reason] = self.giveups_by_reason.get(reason, 0) + 1
+
+    @property
+    def total_retries(self):
+        return sum(self.retries_by_reason.values())
+
+    @property
+    def total_giveups(self):
+        return sum(self.giveups_by_reason.values())
+
+    def __repr__(self):
+        return "RetryPolicy(max_attempts=%d, base=%r, cap=%r, retries=%d)" % (
+            self.max_attempts,
+            self.base_backoff,
+            self.max_backoff,
+            self.total_retries,
+        )

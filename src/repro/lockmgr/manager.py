@@ -226,7 +226,13 @@ class LockManager:
         if request.status is not RequestStatus.WAITING:
             return request.status
         started = self.sim.now
-        fired = yield WaitEvent(request.event, timeout=self.wait_timeout)
+        timeout = self.wait_timeout
+        faults = self.sim.faults
+        if faults.enabled:
+            # A lock-storm window collapses the effective wait budget,
+            # turning long waits into timeout-abort-retry storms.
+            timeout = faults.lock_wait_timeout(started, timeout)
+        fired = yield WaitEvent(request.event, timeout=timeout)
         waited = self.sim.now - started
         self.total_wait_time += waited
         self._t_wait_hist.observe(waited)

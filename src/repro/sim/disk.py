@@ -10,8 +10,16 @@ pile up.  This model captures both:
 - requests are serialised FIFO; a request arriving while the device is busy
   waits until the device drains (tracked with a "busy-until" horizon rather
   than a process, which keeps the model cheap and exactly FIFO).
+
+Fault injection (``repro.faults``): during a configured brownout window
+every service time on the device is multiplied by the plan's slowdown
+factor, and a seeded coin can make an operation fail with
+:class:`~repro.faults.TransientIOError` after paying an error-detection
+latency — callers on durability paths (the WAL layers) retry.  Both hooks
+are no-ops behind the ``faults.enabled`` check when no plan is active.
 """
 
+from repro.faults.injector import TransientIOError
 from repro.sim.kernel import Timeout
 from repro.sim.rand import HeavyTail, LogNormal, Pareto
 
@@ -116,6 +124,7 @@ class Disk:
         self.rng = rng
         self.config = config or DiskConfig()
         self.name = name
+        self._faults = sim.faults
         self._busy_until = 0.0
         cfg = self.config
         self._write_dist = LogNormal(cfg.write_base_mean, cfg.write_base_cv)
@@ -129,6 +138,7 @@ class Disk:
         self.reads = 0
         self.flushes = 0
         self.bytes_written = 0
+        self.io_errors = 0
         # Telemetry.  The horizon model has no explicit queue, so depth
         # is reported as the FIFO delay a request pays before service —
         # the quantity that amplifies the flush tail under pile-ups.
@@ -149,8 +159,19 @@ class Disk:
     def busy(self):
         return self._busy_until > self.sim.now
 
+    def _fail(self, op):
+        """Generator: should ``op`` fail now, serve the error and raise."""
+        if self._faults.enabled and self._faults.io_error(self.name, op):
+            self.io_errors += 1
+            yield from self._serve(self._faults.plan.io_error_latency)
+            raise TransientIOError(
+                "injected %s error on disk %r at t=%.1f" % (op, self.name, self.sim.now)
+            )
+
     def _serve(self, service_time):
         """Generator: FIFO-queue then hold for ``service_time``."""
+        if self._faults.enabled:
+            service_time *= self._faults.disk_latency_factor(self.name, self.sim.now)
         start = max(self.sim.now, self._busy_until)
         self._t_queue_delay.observe(start - self.sim.now)
         self._t_service.observe(service_time)
@@ -159,6 +180,7 @@ class Disk:
 
     def write(self, nbytes):
         """Generator: a buffered write of ``nbytes`` (no durability)."""
+        yield from self._fail("write")
         self.writes += 1
         self._t_writes.inc()
         self.bytes_written += nbytes
@@ -178,6 +200,7 @@ class Disk:
         """
         if nblocks <= 0:
             return
+        yield from self._fail("write")
         self.writes += nblocks
         self._t_writes.inc(nblocks)
         self.bytes_written += nblocks * block_bytes
@@ -189,6 +212,7 @@ class Disk:
 
     def read(self, nbytes):
         """Generator: a random read of ``nbytes``."""
+        yield from self._fail("read")
         self.reads += 1
         self._t_reads.inc()
         service = (
@@ -204,6 +228,7 @@ class Disk:
         ``flush_base_mean`` and with probability ``flush_tail_prob`` the
         call hits a Pareto-tailed stall.
         """
+        yield from self._fail("flush")
         self.flushes += 1
         self._t_flushes.inc()
         service = self._flush_dist.sample(self.rng)

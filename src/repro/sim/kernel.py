@@ -20,8 +20,10 @@ monotonically increasing sequence number, so a run is a pure function of
 the initial configuration and the random seeds.
 """
 
+import math
 from heapq import heappop, heappush
 
+from repro.faults.injector import NO_FAULTS
 from repro.telemetry.registry import NULL_REGISTRY
 
 
@@ -35,8 +37,13 @@ class Timeout:
     __slots__ = ("delay",)
 
     def __init__(self, delay):
-        if delay < 0:
-            raise SimulationError("Timeout delay must be >= 0, got %r" % (delay,))
+        # Non-finite delays must be rejected, not just negative ones: a
+        # NaN passes every comparison check and then poisons the wakeup
+        # heap's ordering invariant silently.
+        if not math.isfinite(delay) or delay < 0:
+            raise SimulationError(
+                "Timeout delay must be finite and >= 0, got %r" % (delay,)
+            )
         self.delay = delay
 
     def __repr__(self):
@@ -54,8 +61,10 @@ class WaitEvent:
     __slots__ = ("event", "timeout")
 
     def __init__(self, event, timeout=None):
-        if timeout is not None and timeout < 0:
-            raise SimulationError("WaitEvent timeout must be >= 0, got %r" % (timeout,))
+        if timeout is not None and (not math.isfinite(timeout) or timeout < 0):
+            raise SimulationError(
+                "WaitEvent timeout must be finite and >= 0, got %r" % (timeout,)
+            )
         self.event = event
         self.timeout = timeout
 
@@ -142,13 +151,16 @@ class Simulator:
     ``telemetry`` is the run's :class:`~repro.telemetry.MetricsRegistry`
     (or the shared null registry); every subsystem built on this
     simulator reads it from here, so one constructor argument plumbs
-    observability through the whole stack.
+    observability through the whole stack.  ``faults`` is the run's
+    :class:`~repro.faults.FaultInjector` (or the shared null injector),
+    distributed the same way.
     """
 
-    def __init__(self, telemetry=None):
+    def __init__(self, telemetry=None, faults=None):
         self.now = 0.0
         self.current = None
         self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
+        self.faults = faults if faults is not None else NO_FAULTS
         self._heap = []
         self._seq = 0
         self._spawned = 0

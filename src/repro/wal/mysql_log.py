@@ -16,11 +16,16 @@ performs them (Appendix B):
 
 The log tracks ``durable_lsn`` so tests can quantify exactly how much
 forward progress each policy risks (``lost_on_crash``).
+
+All device I/O goes through a :class:`~repro.wal.retry_io.RetryingDisk`:
+an injected transient error on the log device is retried with backoff
+instead of losing durability (``wal.<name>.io_retries`` counts them).
 """
 
 import enum
 
 from repro.sim.kernel import Timeout, WaitEvent
+from repro.wal.retry_io import RetryingDisk
 
 
 class FlushPolicy(enum.Enum):
@@ -73,6 +78,7 @@ class RedoLog:
         # levers behind the eager policy's amortisation.
         tm = sim.telemetry
         prefix = "wal.%s" % name
+        self._rdisk = RetryingDisk(sim, disk, prefix)
         self._t_commits = tm.counter(prefix + ".commits")
         self._t_flush_rounds = tm.counter(prefix + ".flush_rounds")
         self._t_exposed = tm.counter(prefix + ".exposed_commits")
@@ -101,7 +107,7 @@ class RedoLog:
         if policy is FlushPolicy.LAZY_WRITE:
             pass  # both write and flush deferred to the background thread
         elif policy is FlushPolicy.LAZY_FLUSH:
-            yield from self.disk.write(nbytes)
+            yield from self._rdisk.write(nbytes)
             self.written_lsn = max(self.written_lsn, lsn)
         else:
             yield from self.tracer.traced(
@@ -127,10 +133,10 @@ class RedoLog:
                     continue
                 # Without group commit, queue for the device directly.
                 self._t_flush_bytes.observe(max(0, lsn - self.written_lsn))
-                yield from self.disk.write(lsn - self.written_lsn)
+                yield from self._rdisk.write(lsn - self.written_lsn)
                 self.written_lsn = max(self.written_lsn, lsn)
                 yield from self.tracer.traced(
-                    ctx, "fil_flush", self.disk.flush()
+                    ctx, "fil_flush", self._rdisk.flush()
                 )
                 self.durable_lsn = max(self.durable_lsn, lsn)
                 self._t_flush_rounds.inc()
@@ -143,9 +149,9 @@ class RedoLog:
             pending = max(0, target - self.written_lsn)
             self._t_flush_bytes.observe(pending)
             if pending:
-                yield from self.disk.write(pending)
+                yield from self._rdisk.write(pending)
             self.written_lsn = max(self.written_lsn, target)
-            yield from self.tracer.traced(ctx, "fil_flush", self.disk.flush())
+            yield from self.tracer.traced(ctx, "fil_flush", self._rdisk.flush())
             self.durable_lsn = max(self.durable_lsn, target)
             self.flush_rounds += 1
             self._t_flush_rounds.inc()
@@ -182,11 +188,11 @@ class RedoLog:
             target = self.current_lsn
             pending_write = max(0, target - self.written_lsn)
             if pending_write and self.config.policy is FlushPolicy.LAZY_WRITE:
-                yield from self.disk.write(pending_write)
+                yield from self._rdisk.write(pending_write)
             self.written_lsn = max(self.written_lsn, target)
             if self.written_lsn > self.durable_lsn:
                 self._t_flush_bytes.observe(self.written_lsn - self.durable_lsn)
-                yield from self.disk.flush()
+                yield from self._rdisk.flush()
                 self.durable_lsn = self.written_lsn
                 self.flush_rounds += 1
                 self._t_flush_rounds.inc()

@@ -21,6 +21,7 @@ wait — on the one with fewer waiters.
 import math
 
 from repro.sim.kernel import Timeout, WaitEvent
+from repro.wal.retry_io import RetryingDisk
 
 
 class WALConfig:
@@ -54,6 +55,7 @@ class WALWriter:
         # Telemetry: WALWriteLock contention and per-round flush sizes.
         tm = sim.telemetry
         prefix = "wal.%s" % name
+        self._rdisk = RetryingDisk(sim, disk, prefix)
         self._t_commits = tm.counter(prefix + ".commits")
         self._t_lock_waits = tm.counter(prefix + ".lock_waits")
         self._t_flush_rounds = tm.counter(prefix + ".flush_rounds")
@@ -142,9 +144,9 @@ class WALWriter:
         self._t_flush_bytes.observe(pending)
         if pending:
             nblocks = int(math.ceil(pending / float(self.config.block_size)))
-            yield from self.disk.write_blocks(nblocks, self.config.block_size)
+            yield from self._rdisk.write_blocks(nblocks, self.config.block_size)
             self.written_lsn = max(self.written_lsn, target_lsn)
-        yield from self.disk.flush()
+        yield from self._rdisk.flush()
 
     def lost_on_crash(self):
         """Commits reported durable... that actually were (sanity: empty)."""

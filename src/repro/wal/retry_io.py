@@ -1,0 +1,69 @@
+"""Retrying disk operations for the WAL durability paths.
+
+The log writers are the one place an injected
+:class:`~repro.faults.TransientIOError` cannot simply abort the caller:
+a commit that already reported success must eventually reach stable
+storage.  :class:`RetryingDisk` wraps a :class:`~repro.sim.disk.Disk`
+and retries failed operations under a :class:`~repro.faults.RetryPolicy`,
+with backoff jitter drawn from the injector's dedicated ``faults.retry``
+stream (``sim.faults.retry_rng``) so retry activity never perturbs the
+device's own latency draws.
+
+With :data:`~repro.faults.NO_FAULTS` active no ``TransientIOError`` can
+be raised, the retry loop body runs exactly once per call, and no RNG is
+touched — the disabled path stays byte-identical.
+
+Exhausting the policy re-raises the final ``TransientIOError``: a log
+device that stays broken past the retry budget is a media failure, which
+this model treats as fatal.
+"""
+
+from repro.faults.injector import TransientIOError
+from repro.faults.retry import RetryPolicy
+from repro.sim.kernel import Timeout
+
+
+def default_wal_retry_policy():
+    """Short, aggressive retries: the commit path is latency-critical."""
+    return RetryPolicy(
+        max_attempts=6, base_backoff=100.0, multiplier=2.0, max_backoff=5_000.0
+    )
+
+
+class RetryingDisk:
+    """A Disk facade whose write/write_blocks/flush survive injected errors."""
+
+    def __init__(self, sim, disk, telemetry_prefix, policy=None):
+        self.sim = sim
+        self.disk = disk
+        self.policy = policy or default_wal_retry_policy()
+        self.io_retries = 0
+        self._t_retries = sim.telemetry.counter(telemetry_prefix + ".io_retries")
+
+    def write(self, nbytes):
+        yield from self._run("write", (nbytes,))
+
+    def write_blocks(self, nblocks, block_bytes):
+        yield from self._run("write_blocks", (nblocks, block_bytes))
+
+    def flush(self):
+        yield from self._run("flush", ())
+
+    def _run(self, op_name, op_args):
+        """Generator: run one disk op, retrying TransientIOError."""
+        policy = self.policy
+        op = getattr(self.disk, op_name)
+        attempt = 1
+        while True:
+            try:
+                yield from op(*op_args)
+                return
+            except TransientIOError:
+                if attempt >= policy.max_attempts:
+                    policy.note_give_up("io_error")
+                    raise
+                self.io_retries += 1
+                self._t_retries.inc()
+                policy.note_retry("io_error")
+                yield Timeout(policy.backoff(attempt, self.sim.faults.retry_rng))
+                attempt += 1

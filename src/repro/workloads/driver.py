@@ -8,6 +8,10 @@ interarrival time (with optional small jitter to avoid phase-locking
 with periodic server activity), independently of how fast the server is
 responding — so server-side queueing shows up as latency, exactly as in
 the paper's measurement methodology.
+
+Fault injection: during a configured arrival-burst window the interarrival
+gap is divided by the plan's rate factor — a deterministic overload pulse
+that exercises the engines' bounded-queue shedding and deadline paths.
 """
 
 from repro.core.annotations import TransactionContext
@@ -36,7 +40,9 @@ class LoadDriver:
         self.n_txns = n_txns
         self.jitter_fraction = jitter_fraction
         self._rng = streams.stream("driver")
+        self._faults = sim.faults
         self.submitted = 0
+        self.shed = 0
 
     @property
     def interarrival(self):
@@ -53,10 +59,14 @@ class LoadDriver:
         for i in range(self.n_txns):
             spec = self.workload.make_txn(self._rng)
             ctx = TransactionContext(self.sim, i, spec.txn_type)
-            self.engine.submit(ctx, spec)
+            accepted = self.engine.submit(ctx, spec)
             self.submitted += 1
+            if accepted is False:
+                self.shed += 1
             gap = base
             if spread:
                 gap += self._rng.uniform(-spread, spread)
+            if self._faults.enabled:
+                gap /= self._faults.arrival_rate_factor(self.sim.now)
             yield Timeout(max(0.0, gap))
         self.engine.drain()

@@ -108,4 +108,4 @@ def test_cats_runs_full_engine():
     )
     result = run_experiment(config)
     assert len(result.log) == 300
-    assert result.engine.failed_txns == 0
+    assert result.failed_txns == 0

@@ -26,7 +26,7 @@ class TestMySQLEngine:
     def test_all_transactions_complete(self):
         result = run_experiment(small_mysql())
         assert len(result.log) == 200
-        assert result.engine.failed_txns == 0
+        assert result.failed_txns == 0
         assert all(t.latency > 0 for t in result.traces)
 
     def test_sustains_offered_rate(self):
@@ -84,7 +84,7 @@ class TestMySQLEngine:
         # Whether or not deadlocks occurred, nothing may be lost.
         assert len(result.log) == 400
         committed = sum(1 for t in result.log.traces if t.committed)
-        assert committed + result.engine.failed_txns == 400
+        assert committed + result.failed_txns == 400
 
     def test_vats_scheduler_selected(self):
         result = run_experiment(small_mysql(scheduler="VATS"))
@@ -107,7 +107,7 @@ class TestPostgresEngine:
     def test_all_transactions_complete(self):
         result = run_experiment(self.small())
         assert len(result.log) == 200
-        assert result.engine.failed_txns == 0
+        assert result.failed_txns == 0
 
     def test_wal_commits_match_writers(self):
         result = run_experiment(self.small())

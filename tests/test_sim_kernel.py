@@ -34,6 +34,43 @@ def test_negative_timeout_rejected():
         Timeout(-1.0)
 
 
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+def test_non_finite_timeout_rejected(bad):
+    # NaN passes a bare ``< 0`` check and then poisons heap ordering
+    # (every comparison with NaN is False), so the kernel must reject
+    # non-finite delays explicitly.
+    with pytest.raises(SimulationError):
+        Timeout(bad)
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf"), -1.0])
+def test_non_finite_wait_event_timeout_rejected(sim, bad):
+    from repro.sim.kernel import WaitEvent
+
+    with pytest.raises(SimulationError):
+        WaitEvent(sim.event(), timeout=bad)
+
+
+def test_wait_event_none_timeout_still_allowed(sim):
+    from repro.sim.kernel import WaitEvent
+
+    fired = []
+
+    def waiter():
+        event = sim.event()
+        sim.spawn(firer(event))
+        yield WaitEvent(event, timeout=None)
+        fired.append(sim.now)
+
+    def firer(event):
+        yield Timeout(4.0)
+        event.fire()
+
+    sim.spawn(waiter())
+    sim.run()
+    assert fired == [4.0]
+
+
 def test_zero_timeout_allowed(sim):
     done = []
 
