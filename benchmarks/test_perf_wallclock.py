@@ -1,0 +1,71 @@
+"""Wall-clock throughput of the simulation kernel (``perf_bench``).
+
+These are *measurements*, not invariants of the paper: they time the
+dispatch loop on the fixed macro-workloads and compare against the
+committed smoke baseline in ``BENCH_PERF.json`` with the same loose
+tolerance the CI perf-smoke job uses.  Skipped by default — run with
+``pytest benchmarks/test_perf_wallclock.py -m perf_bench``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import perf
+from repro.sim.refkernel import ReferenceSimulator
+
+BENCH_PERF = os.path.join(os.path.dirname(__file__), "..", "BENCH_PERF.json")
+SMOKE_N_TXNS = 200
+
+
+def _smoke_baseline():
+    if not os.path.exists(BENCH_PERF):
+        pytest.skip("no committed BENCH_PERF.json")
+    with open(BENCH_PERF) as fh:
+        report = json.load(fh)
+    baseline = report.get("smoke_baseline")
+    if not baseline:
+        pytest.skip("no smoke_baseline section in BENCH_PERF.json")
+    return baseline
+
+
+@pytest.mark.perf_bench
+def test_macro_throughput_within_baseline_tolerance():
+    baseline = _smoke_baseline()
+    measured = perf.measure_macros(n_txns=SMOKE_N_TXNS, repeats=3)
+    failures = []
+    for key, entry in sorted(measured.items()):
+        base = baseline.get(key)
+        if base is None:
+            continue
+        message = perf.check_regression(
+            base["events_per_sec"], entry["events_per_sec"]
+        )
+        print("  %-32s %10.0f ev/s (baseline %10.0f)"
+              % (key, entry["events_per_sec"], base["events_per_sec"]))
+        if message is not None:
+            failures.append("%s: %s" % (key, message))
+    assert not failures, "\n".join(failures)
+
+
+@pytest.mark.perf_bench
+def test_fast_kernel_not_slower_than_reference():
+    """Interleaved in-process A/B of the two kernels on the MySQL macro.
+
+    The fast kernel should comfortably beat the verbatim reference
+    loop; the assertion is deliberately loose (>=1.0x) because this can
+    run on arbitrarily noisy machines — the committed numbers in
+    BENCH_PERF.json are the real record.
+    """
+    config = perf.macro_config(
+        "mysql-tpcc-vats", n_txns=SMOKE_N_TXNS, telemetry=False
+    )
+    fast = perf.measure(config, repeats=3)
+    reference = perf.measure(config, repeats=3,
+                             simulator_cls=ReferenceSimulator)
+    ratio = fast["events_per_sec"] / reference["events_per_sec"]
+    print("  fast kernel %.0f ev/s vs reference %.0f ev/s (%.2fx)"
+          % (fast["events_per_sec"], reference["events_per_sec"], ratio))
+    assert fast["dispatches"] == reference["dispatches"]
+    assert ratio >= 1.0

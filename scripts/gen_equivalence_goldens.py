@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Regenerate the kernel-equivalence golden digests.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_equivalence_goldens.py
+
+Writes ``tests/goldens/equivalence_digests.json``: one SHA-256 digest
+per (engine, seed, telemetry) cell plus one fault-plan run, each
+covering the run's full observable output (exact latency sequence,
+final virtual clock, metrics snapshot, abort/failure/fault counts —
+see ``repro.bench.digest``).
+
+These goldens were captured from the *pre-optimisation* kernel and are
+the contract every kernel fast path must honour: same (config, seed) ⇒
+byte-identical RunResult.  Only regenerate them for an intentional
+semantic change to the simulation (new engine behaviour, workload fix),
+never to make a performance patch pass.
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import paperconfig as pc
+from repro.bench.digest import run_digest
+from repro.bench.runner import run_experiment
+from repro.faults import named_plan
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "tests", "goldens",
+    "equivalence_digests.json",
+)
+
+SEEDS = (7, 21, 99)
+N_TXNS = 250
+
+
+def golden_configs():
+    """Yield (key, ExperimentConfig) pairs for every golden cell."""
+    factories = {
+        "mysql": lambda **kw: pc.mysql_128wh_experiment("VATS", **kw),
+        "postgres": pc.postgres_experiment,
+        "voltdb": pc.voltdb_experiment,
+    }
+    for engine, factory in sorted(factories.items()):
+        for seed in SEEDS:
+            base = factory(seed=seed, n_txns=N_TXNS)
+            for telemetry in (True, False):
+                key = "%s/seed%d/telemetry-%s" % (
+                    engine, seed, "on" if telemetry else "off")
+                yield key, base.replaced(telemetry=telemetry)
+    # One chaos run: the fault subsystem's scheduling (extra fault
+    # processes, retries, crash-restarts) must survive the fast paths too.
+    chaos = pc.mysql_128wh_experiment(
+        "VATS", seed=SEEDS[0], n_txns=N_TXNS,
+    ).replaced(fault_plan=named_plan("full-chaos"))
+    yield "mysql/seed7/full-chaos", chaos
+
+
+def main():
+    digests = {}
+    for key, config in golden_configs():
+        digests[key] = run_digest(run_experiment(config))
+        print("%s  %s" % (digests[key], key))
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(digests, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote %d digests to %s" % (len(digests), GOLDEN_PATH))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,121 @@
+"""Wall-clock performance measurement for the simulation kernel.
+
+Everything else in ``bench/`` measures *virtual* time; this module is
+the one place that measures *wall* time — how many simulated events and
+committed transactions per real second the kernel sustains.  The
+numbers feed ``BENCH_PERF.json`` (written by
+``scripts/run_perf_bench.py``) and the CI ``perf-smoke`` job, which
+re-measures a tiny run and fails on a large regression against the
+committed baseline.
+
+Wall-clock timing is inherently noisy (machine load, CPU scaling,
+allocator state), which is why :func:`measure` reports the *minimum* of
+several repeats — contention only ever adds time, so the fastest sample
+is the least-disturbed one (the same reasoning as ``timeit``) — and why
+:func:`check_regression` applies a generous tolerance: the gate exists
+to catch accidental 3×+ slowdowns of the dispatch loop, not 10% drift.
+For before/after comparisons, time both kernels interleaved in one
+process (``measure(..., simulator_cls=ReferenceSimulator)``) so they
+see the same machine conditions.
+"""
+
+import time
+
+from repro.bench import paperconfig as pc
+from repro.bench.runner import run_experiment
+
+#: The fixed macro-workloads the perf trajectory is tracked on.  Keys
+#: are stable identifiers recorded in BENCH_PERF.json.
+MACROS = {
+    "mysql-tpcc-vats": lambda seed, n_txns: pc.mysql_128wh_experiment(
+        "VATS", seed=seed, n_txns=n_txns
+    ),
+    "postgres-tpcc": lambda seed, n_txns: pc.postgres_experiment(
+        seed=seed, n_txns=n_txns
+    ),
+    "voltdb-tpcc": lambda seed, n_txns: pc.voltdb_experiment(
+        seed=seed, n_txns=n_txns
+    ),
+}
+
+MACRO_SEED = 7
+MACRO_N_TXNS = 2000
+
+
+def macro_config(name, seed=MACRO_SEED, n_txns=MACRO_N_TXNS, telemetry=True):
+    """The fixed (config, seed) macro-run for one tracked workload."""
+    return MACROS[name](seed, n_txns).replaced(telemetry=telemetry)
+
+
+def measure(config, repeats=3, simulator_cls=None):
+    """Time ``run_experiment(config)``: best wall seconds over repeats.
+
+    Returns a plain dict (JSON-ready) with the fastest repeat and the
+    derived events/sec and txns/sec rates.  Virtual-time results are
+    identical across repeats (same config, same seed), so only the
+    clock varies.  ``simulator_cls`` times an alternative kernel (e.g.
+    the reference kernel) on the identical workload.
+    """
+    walls = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run_experiment(config, simulator_cls=simulator_cls)
+        walls.append(time.perf_counter() - start)
+    wall = min(walls)
+    dispatches = result.sim.dispatch_count
+    committed = len(result.traces)
+    return {
+        "engine": config.engine,
+        "workload": config.workload,
+        "seed": config.seed,
+        "n_txns": config.n_txns,
+        "telemetry": config.telemetry,
+        "repeats": repeats,
+        "wall_seconds": round(wall, 4),
+        "wall_seconds_all": [round(w, 4) for w in sorted(walls)],
+        "dispatches": dispatches,
+        "committed_txns": committed,
+        "events_per_sec": round(dispatches / wall, 1),
+        "txns_per_sec": round(committed / wall, 1),
+    }
+
+
+def measure_macros(names=None, seed=MACRO_SEED, n_txns=MACRO_N_TXNS,
+                   repeats=3, progress=None, simulator_cls=None):
+    """Measure every tracked macro-workload, telemetry on and off."""
+    report = {}
+    for name in names or sorted(MACROS):
+        for telemetry in (True, False):
+            key = "%s/telemetry-%s" % (name, "on" if telemetry else "off")
+            if progress:
+                progress("measuring %s ..." % key)
+            report[key] = measure(
+                macro_config(name, seed=seed, n_txns=n_txns,
+                             telemetry=telemetry),
+                repeats=repeats,
+                simulator_cls=simulator_cls,
+            )
+            if progress:
+                progress("  %s: %.0f events/sec, %.0f txns/sec (wall %.3fs)"
+                         % (key, report[key]["events_per_sec"],
+                            report[key]["txns_per_sec"],
+                            report[key]["wall_seconds"]))
+    return report
+
+
+def check_regression(baseline_events_per_sec, measured_events_per_sec,
+                     tolerance=3.0):
+    """Fail-message (or None) for the CI perf-smoke comparison.
+
+    A measured rate more than ``tolerance``× below the committed
+    baseline indicates the dispatch loop lost its fast paths; anything
+    within tolerance is machine noise.
+    """
+    if measured_events_per_sec * tolerance >= baseline_events_per_sec:
+        return None
+    return (
+        "perf regression: measured %.0f events/sec is more than %.1fx below "
+        "the committed baseline of %.0f events/sec"
+        % (measured_events_per_sec, tolerance, baseline_events_per_sec)
+    )

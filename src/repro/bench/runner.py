@@ -12,6 +12,8 @@ buffer pool, empty queues), and mean / variance / p99 computed over the
 remaining committed transactions.
 """
 
+import gc
+
 from repro.core.annotations import TransactionLog
 from repro.core.tracing import Tracer
 from repro.faults.injector import NO_FAULTS, FaultInjector
@@ -194,8 +196,13 @@ class RunResult:
         )
 
 
-def run_experiment(config):
-    """Execute one :class:`ExperimentConfig` to completion."""
+def run_experiment(config, simulator_cls=None):
+    """Execute one :class:`ExperimentConfig` to completion.
+
+    ``simulator_cls`` swaps the event-loop implementation (default: the
+    production :class:`~repro.sim.kernel.Simulator`); the perf harness
+    uses it to time the reference kernel on identical workloads.
+    """
     registry = MetricsRegistry() if config.telemetry else NULL_REGISTRY
     streams = Streams(config.seed)
     plan = config.fault_plan
@@ -203,7 +210,9 @@ def run_experiment(config):
         faults = FaultInjector(plan, streams, telemetry=registry)
     else:
         faults = NO_FAULTS
-    sim = Simulator(telemetry=registry, faults=faults)
+    if simulator_cls is None:
+        simulator_cls = Simulator
+    sim = simulator_cls(telemetry=registry, faults=faults)
     registry.bind_clock(sim)
     workload = make_workload(config.workload, **config.workload_kwargs)
     log = TransactionLog()
@@ -225,6 +234,17 @@ def run_experiment(config):
         n_txns=config.n_txns,
     )
     driver.start()
-    sim.run()
+    # The run allocates generators and tuples at a rate that makes the
+    # cyclic GC's periodic scans pure overhead (simulation state is one
+    # big live object graph; almost nothing is collectable mid-run).
+    # Pausing collection is invisible in virtual time.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        sim.run()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     warmup_count = int(config.n_txns * config.warmup_fraction)
     return RunResult(config, log, engine, sim, warmup_count)

@@ -14,6 +14,11 @@ live in :mod:`repro.bufferpool.pool`.
 
 from collections import OrderedDict
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a baked-in dependency
+    _np = None
+
 
 class LRUList:
     """Young/old split LRU over opaque page ids."""
@@ -68,25 +73,131 @@ class LRUList:
 
     def insert_old(self, page_id):
         """A newly read page enters at the head of the old sublist."""
-        if page_id in self:
+        young = self._young
+        old = self._old
+        if page_id in young or page_id in old:
             raise KeyError("page %r already in LRU" % (page_id,))
-        if len(self) >= self.capacity:
+        if len(young) + len(old) >= self.capacity:
             raise RuntimeError("LRU full; evict first")
-        self._old[page_id] = True
-        self._old.move_to_end(page_id, last=False)
+        old[page_id] = True
+        old.move_to_end(page_id, last=False)
         self._stamp[page_id] = self._clock
         self._rebalance()
 
+    def insert_old_many(self, page_ids):
+        """Insert many new pages, exactly as ``insert_old`` one by one.
+
+        The bulk prewarm path: one call instead of tens of thousands,
+        with the per-insert rebalance inlined and its bookkeeping kept
+        in locals.  Final list state is identical to the loop of
+        ``insert_old`` calls (the equivalence goldens pin this).
+        """
+        young = self._young
+        old = self._old
+        stamp = self._stamp
+        clock = self._clock
+        old_ratio = self.old_ratio
+        capacity = self.capacity
+        if not young and not old and not clock:
+            # From-empty bulk fill (the prewarm path) admits a closed
+            # form.  Per insert, the rebalance reduces to at most one
+            # promotion of the just-inserted old head: the old sublist
+            # only ever *exceeds* its target (n_old >= target is an
+            # invariant from empty, so the demote loop is dead), and a
+            # single promotion restores n_old <= target + 1.  Hence the
+            # final young order is the promotion (= insertion) order of
+            # the promoted pages, and the final old order is the other
+            # pages newest-first.
+            page_ids = list(page_ids)
+            n = len(page_ids)
+            if (
+                _np is not None
+                and n > 512
+                and n <= capacity
+                and not stamp
+                and len(set(page_ids)) == n
+            ):
+                # Vectorised form of the loop below.  From empty,
+                # n_old after insert i (1-based) is always
+                # ``int(i * old_ratio) + 1``, so insert i promotes its
+                # old head iff ``int(i*r) == int((i-1)*r)`` — a pure
+                # function of i computable in one numpy pass.  (Guarded
+                # to the duplicate-free, within-capacity case so the
+                # scalar loop keeps its exact partial-state exception
+                # behaviour.)
+                fl = _np.floor(
+                    _np.arange(1, n + 1, dtype=_np.float64) * old_ratio
+                )
+                promote = _np.empty(n, dtype=bool)
+                promote[0] = False
+                _np.equal(fl[1:], fl[:-1], out=promote[1:])
+                promote = promote.tolist()
+                stayers = [p for p, m in zip(page_ids, promote) if not m]
+                young.update(
+                    dict.fromkeys(
+                        (p for p, m in zip(page_ids, promote) if m), True
+                    )
+                )
+                old.update(dict.fromkeys(reversed(stayers), True))
+                stamp.update(dict.fromkeys(page_ids, clock))
+                return
+            stayers = []
+            n_old = 0
+            i = 0
+            for page_id in page_ids:
+                if page_id in stamp:
+                    raise KeyError("page %r already in LRU" % (page_id,))
+                if i >= capacity:
+                    raise RuntimeError("LRU full; evict first")
+                i += 1
+                n_old += 1
+                if n_old > int(i * old_ratio) + 1:
+                    young[page_id] = True
+                    n_old -= 1
+                else:
+                    stayers.append(page_id)
+                stamp[page_id] = clock
+            for page_id in reversed(stayers):
+                old[page_id] = True
+            return
+        n_young = len(young)
+        n_old = len(old)
+        for page_id in page_ids:
+            if page_id in young or page_id in old:
+                raise KeyError("page %r already in LRU" % (page_id,))
+            if n_young + n_old >= capacity:
+                raise RuntimeError("LRU full; evict first")
+            old[page_id] = True
+            old.move_to_end(page_id, last=False)
+            stamp[page_id] = clock
+            n_old += 1
+            target = int((n_young + n_old) * old_ratio)
+            while n_old < target and n_young > 0:
+                tail = next(reversed(young))
+                del young[tail]
+                old[tail] = True
+                old.move_to_end(tail, last=False)
+                n_old += 1
+                n_young -= 1
+            while n_old > target + 1:
+                head = next(iter(old))
+                del old[head]
+                young[head] = True
+                n_old -= 1
+                n_young += 1
+
     def make_young(self, page_id):
         """Promote a page to the head of the young sublist."""
-        if page_id in self._old:
-            del self._old[page_id]
-        elif page_id in self._young:
-            del self._young[page_id]
+        young = self._young
+        old = self._old
+        if page_id in old:
+            del old[page_id]
+        elif page_id in young:
+            del young[page_id]
         else:
             raise KeyError("page %r not in LRU" % (page_id,))
-        self._young[page_id] = True
-        self._young.move_to_end(page_id, last=False)
+        young[page_id] = True
+        young.move_to_end(page_id, last=False)
         self._clock += 1
         self._stamp[page_id] = self._clock
         self._rebalance()
@@ -101,10 +212,12 @@ class LRUList:
         """
         if page_id in self._old:
             return True
-        if page_id not in self._young:
+        young = self._young
+        if page_id not in young:
             raise KeyError("page %r not in LRU" % (page_id,))
-        threshold = self.young_reorder_depth * len(self._young)
-        return (self._clock - self._stamp.get(page_id, 0)) > threshold
+        return (self._clock - self._stamp.get(page_id, 0)) > (
+            self.young_reorder_depth * len(young)
+        )
 
     def victim(self):
         """The replacement victim: tail of the old sublist."""
@@ -126,18 +239,25 @@ class LRUList:
 
     def _rebalance(self):
         """Keep the old sublist at its target share by demoting young tails."""
-        target = self.old_target
-        while len(self._old) < target and len(self._young) > 0:
-            tail = next(reversed(self._young))
-            del self._young[tail]
-            self._old[tail] = True
-            self._old.move_to_end(tail, last=False)
-        while len(self._old) > target + 1 and len(self._old) > 0:
-            head = next(iter(self._old))
-            del self._old[head]
-            self._young[head] = True
-            # Promoted boundary pages join the young *tail*.
-            self._young.move_to_end(head, last=True)
+        young = self._young
+        old = self._old
+        n_young = len(young)
+        n_old = len(old)
+        target = int((n_young + n_old) * self.old_ratio)
+        while n_old < target and n_young > 0:
+            tail = next(reversed(young))
+            del young[tail]
+            old[tail] = True
+            old.move_to_end(tail, last=False)
+            n_old += 1
+            n_young -= 1
+        while n_old > target + 1:
+            head = next(iter(old))
+            del old[head]
+            # Promoted boundary pages join the young *tail* (the lists
+            # are disjoint, so plain insertion appends at the end).
+            young[head] = True
+            n_old -= 1
 
     def __repr__(self):
         return "<LRUList young=%d old=%d cap=%d>" % (

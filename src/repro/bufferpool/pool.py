@@ -21,7 +21,6 @@ Table 1: ``buf_page_make_young`` -> ``buf_pool_mutex_enter`` ->
 """
 
 from repro.bufferpool.lru import LRUList
-from repro.sim.kernel import Timeout
 from repro.sim.resources import Mutex, SpinLock
 
 
@@ -100,6 +99,7 @@ class BufferPool:
         # Telemetry instruments.  The hold-time histogram measures how
         # long the pool mutex stays held per critical section — the
         # quantity LLU shrinks and the paper's Table 1 indicts.
+        self._hit_cost = float(self.config.hit_cost)
         tm = sim.telemetry
         self._tm = tm
         self._t_hits = tm.counter(name + ".hits")
@@ -130,14 +130,21 @@ class BufferPool:
         the LRU will sort itself out as traffic arrives.  Returns the
         number of pages resident afterwards.
         """
+        pages = self._pages
+        capacity = self.config.capacity_pages
+        n = len(pages)
+        fresh = []
+        append = fresh.append
         for page_id in page_ids:
-            if len(self._pages) >= self.config.capacity_pages:
+            if n >= capacity:
                 break
-            if page_id in self._pages:
+            if page_id in pages:
                 continue
-            self._pages[page_id] = Page(page_id)
-            self._lru.insert_old(page_id)
-        return len(self._pages)
+            pages[page_id] = Page(page_id)
+            n += 1
+            append(page_id)
+        self._lru.insert_old_many(fresh)
+        return len(pages)
 
     def fix_page(self, ctx, page_id, dirty=False, backlog=None):
         """Generator: pin ``page_id``, reading it in on a miss.
@@ -145,19 +152,33 @@ class BufferPool:
         ``backlog`` is the calling worker's deferred-LRU-update list; it is
         only consulted when the pool runs with Lazy LRU Update.
         """
+        pages_get = self._pages.get
         while True:
-            page = self._pages.get(page_id)
+            page = pages_get(page_id)
             if page is None:
                 break
             self.hits += 1
             self._t_hits.inc()
-            yield Timeout(self.config.hit_cost)
-            if self._pages.get(page_id) is not page:
+            yield self._hit_cost
+            if pages_get(page_id) is not page:
                 # Evicted (or replaced) while we paused: take the miss path.
                 continue
             if dirty:
                 page.dirty = True
-            if self._lru.needs_make_young(page_id):
+            # Inlined ``self._lru.needs_make_young(page_id)`` — the hit
+            # path runs once per page access and the call overhead alone
+            # shows up in run wall time.
+            lru = self._lru
+            if page_id in lru._old:
+                promote = True
+            else:
+                young = lru._young
+                if page_id not in young:
+                    raise KeyError("page %r not in LRU" % (page_id,))
+                promote = (lru._clock - lru._stamp.get(page_id, 0)) > (
+                    lru.young_reorder_depth * len(young)
+                )
+            if promote:
                 yield from self.tracer.traced(
                     ctx, "buf_page_make_young", self._make_young(ctx, page_id, backlog)
                 )
@@ -226,12 +247,12 @@ class BufferPool:
             if page_id not in self._pages:
                 continue  # evicted since the deferral; nothing to do
             self.llu_applied += 1
-            yield Timeout(self.config.llu_backlog_apply_cost)
+            yield self.config.llu_backlog_apply_cost
             self._lru.make_young(page_id)
 
     def _apply_make_young(self, page_id):
         self.make_youngs += 1
-        yield Timeout(self.config.list_op_cost)
+        yield self.config.list_op_cost
         if page_id in self._pages:
             self._lru.make_young(page_id)
 
@@ -249,7 +270,7 @@ class BufferPool:
         if page is not None:
             self._t_hold_hist.observe(self.sim.now - held_since)
             self.mutex.release()
-            yield Timeout(self.config.hit_cost)
+            yield self.config.hit_cost
             return page
         yield from self.tracer.traced(
             ctx, "buf_LRU_get_free_block", self._evict_for_free_frame()
@@ -272,7 +293,7 @@ class BufferPool:
         under the mutex (the MySQL 5.6 single-page-flush pathology that
         makes hold times heavy-tailed under memory pressure).
         """
-        yield Timeout(self.config.evict_op_cost)
+        yield self.config.evict_op_cost
         if len(self._lru) < self._lru.capacity:
             return
         victim_id = self._lru.victim()

@@ -26,7 +26,6 @@ lock_wait_suspend_thread).
 """
 
 from repro.core.annotations import _Frame
-from repro.sim.kernel import Timeout
 
 
 class Tracer:
@@ -36,7 +35,8 @@ class Tracer:
         self.sim = sim
         self.callgraph = callgraph
         self.instrumented = set(instrumented)
-        self.probe_cost = probe_cost
+        # Kept a float so probes can use the kernel's bare-float yield.
+        self.probe_cost = float(probe_cost)
         self.log = log
         self.probe_firings = 0
 
@@ -57,16 +57,23 @@ class Tracer:
     # ------------------------------------------------------------------
 
     def traced(self, ctx, name, subgen, site=None):
-        """Generator: run ``subgen`` as the body of function ``name``.
+        """Run ``subgen`` as the body of function ``name``.
 
-        Delegates with zero overhead when ``name`` is not instrumented.
-        Otherwise records the invocation's duration into ``ctx`` under the
-        factor key and charges the probe cost at entry and exit.
+        Delegates with zero overhead when ``name`` is not instrumented:
+        the sub-generator itself is returned for the caller to ``yield
+        from`` directly, so an uninstrumented call adds no generator
+        frame at all (engines make millions of these calls per run —
+        wrapping each in a pass-through ``yield from`` generator used to
+        double the delegation depth of every hot path).  Otherwise an
+        instrumenting wrapper records the invocation's duration into
+        ``ctx`` under the factor key and charges the probe cost at entry
+        and exit.
         """
         if ctx is None or name not in self.instrumented:
-            result = yield from subgen
-            return result
+            return subgen
+        return self._traced(ctx, name, subgen, site)
 
+    def _traced(self, ctx, name, subgen, site):
         parent = ctx.stack[-1] if ctx.stack else None
         if site is None:
             site = parent.key[0] if parent is not None else "<root>"
@@ -74,7 +81,7 @@ class Tracer:
 
         if self.probe_cost:
             self.probe_firings += 1
-            yield Timeout(self.probe_cost)
+            yield self.probe_cost
         frame = _Frame(key, self.sim.now, parent)
         ctx.stack.append(frame)
         try:
@@ -84,7 +91,7 @@ class Tracer:
             raise
         if self.probe_cost:
             self.probe_firings += 1
-            yield Timeout(self.probe_cost)
+            yield self.probe_cost
         self._exit_frame(ctx, frame)
         return result
 

@@ -42,7 +42,6 @@ from repro.lockmgr.manager import LockManager, RequestStatus
 from repro.lockmgr.scheduling import make_scheduler
 from repro.bufferpool.pool import BufferPool, BufferPoolConfig
 from repro.sim.disk import Disk, DiskConfig
-from repro.sim.kernel import Timeout
 from repro.sim.rand import LogNormal
 from repro.sim.resources import CoreSet
 from repro.storage.tables import TableCatalog
@@ -209,7 +208,18 @@ class MySQLEngine(Engine):
     # ------------------------------------------------------------------
 
     def _attempt(self, worker, ctx, spec):
-        """Generator: one attempt; retries run in the base engine's loop."""
+        """One attempt (returns a generator); retries run in the base loop.
+
+        With no instrumentation active the ``do_command`` ->
+        ``dispatch_command`` levels are pure pass-throughs, so the
+        command body is returned directly — same yields, two fewer
+        generator frames on every one of the run's hottest resumes.
+        """
+        if not self.tracer.instrumented:
+            return self._mysql_execute_fast(worker, ctx, spec)
+        return self._traced_attempt(worker, ctx, spec)
+
+    def _traced_attempt(self, worker, ctx, spec):
         ok = yield from self.tracer.traced(
             ctx, "do_command", self._do_command(worker, ctx, spec)
         )
@@ -229,22 +239,27 @@ class MySQLEngine(Engine):
 
     def _mysql_execute(self, worker, ctx, spec):
         redo_bytes = 0
+        consume = self.cpu.consume
+        sample = self._stmt_cpu_dist.sample
+        rng = self.rng
+        catalog = self.catalog
+        traced = self.tracer.traced
         for op in spec.ops:
             # Parse/plan/execute CPU runs on a finite core set: near
             # saturation, CPU queueing stretches statements and therefore
             # lock hold times — the paper's hardware regime.
-            yield from self.cpu.consume(self._stmt_cpu_dist.sample(self.rng))
-            table = self.catalog[op.table]
+            yield from consume(sample(rng))
+            table = catalog[op.table]
             if op.kind == "select":
-                ok = yield from self.tracer.traced(
+                ok = yield from traced(
                     ctx, "row_search_for_mysql", self._row_search(worker, ctx, op, table)
                 )
             elif op.kind == "update":
-                ok = yield from self.tracer.traced(
+                ok = yield from traced(
                     ctx, "row_upd_step", self._row_update(worker, ctx, op, table)
                 )
             else:
-                ok = yield from self.tracer.traced(
+                ok = yield from traced(
                     ctx, "row_ins", self._row_insert(worker, ctx, op, table)
                 )
             if not ok:
@@ -254,6 +269,198 @@ class MySQLEngine(Engine):
         yield from self.tracer.traced(
             ctx, "innobase_commit", self._commit(ctx, redo_bytes)
         )
+        yield from self.lockmgr.release_all_timed(ctx)
+        return True
+
+    def _mysql_execute_fast(self, worker, ctx, spec):
+        """Uninstrumented ``_mysql_execute`` with the hot chain flattened.
+
+        With no instrumentation active every ``traced()`` wrapper below
+        ``_mysql_execute`` is a pass-through, so the per-statement
+        delegation frames (``_row_search`` / ``_row_update`` /
+        ``_row_insert`` / ``_clust_index_insert`` / ``_lock_rec_lock``,
+        the B-tree ``search`` descent, ``fix_page``, ``CoreSet.consume``
+        and ``request_timed``) are inlined into one generator: the kernel
+        resumes every yield through each frame of the delegation chain,
+        and chain depth is the single largest wall-clock cost of a run.
+        The yield sequence and every state mutation are identical to the
+        traced chain — the equivalence goldens and differential tests pin
+        the two together.
+        """
+        redo_bytes = 0
+        sim = self.sim
+        cpu = self.cpu
+        busy = cpu._busy_until
+        sample = self._stmt_cpu_dist.sample
+        rng = self.rng
+        tables = self.catalog._tables
+        pool = self.pool
+        pages_get = pool._pages.get
+        hit_cost = pool._hit_cost
+        t_hits = pool._t_hits
+        lru = pool._lru
+        backlog = worker.llu_backlog
+        lockmgr = self.lockmgr
+        bookkeeping = lockmgr.bookkeeping
+        if bookkeeping:
+            objects_get = lockmgr._objects.get
+            bk_base = lockmgr.bookkeeping_base
+            bk_per_entry = lockmgr.bookkeeping_per_entry
+            scan_frac = lockmgr._scan_fraction()
+            mutex = lockmgr.lock_sys_mutex
+        row_cpu = self.config.row_cpu
+        WAITING = RequestStatus.WAITING
+        GRANTED = RequestStatus.GRANTED
+        DEADLOCK = RequestStatus.DEADLOCK
+        for op in spec.ops:
+            # CoreSet.consume(sample(rng)), inline.
+            cost = sample(rng)
+            if cost > 0:
+                cpu.total_bursts += 1
+                cpu.total_busy += cost
+                index = busy.index(min(busy))
+                now = sim.now
+                start = busy[index]
+                if now > start:
+                    start = now
+                end = start + cost
+                busy[index] = end
+                yield end - now
+            table = tables[op.table]
+            kind = op.kind
+            key = op.key
+            if kind == "select":
+                dirty = False
+            else:
+                # Updates and inserts take the record lock *before* the
+                # descent (_row_update / _row_insert): request_timed +
+                # lock_rec_lock, inline.
+                obj_id = table.lock_id(key)
+                if bookkeeping:
+                    obj = objects_get(obj_id)
+                    entries = (
+                        0 if obj is None else len(obj.granted) + len(obj.waiting)
+                    )
+                    if mutex.holder is None:
+                        mutex.holder = sim.current
+                        mutex.total_acquisitions += 1
+                    else:
+                        yield from mutex.acquire()
+                    bk_cost = bk_base + bk_per_entry * entries * scan_frac
+                    lockmgr.bookkeeping_time += bk_cost
+                    yield bk_cost
+                    mutex.release()
+                request = lockmgr.request(ctx, obj_id, LockMode.X)
+                status = request.status
+                if status is WAITING:
+                    yield from lockmgr.wait(request)
+                    status = request.status
+                if status is not GRANTED:
+                    ctx.abort_reason = (
+                        "deadlock" if status is DEADLOCK else "timeout"
+                    )
+                    yield from self.lockmgr.release_all_timed(ctx)
+                    return False
+                dirty = True
+                if kind != "update":
+                    table.inserts += 1
+            # BTreeIndex.search, inline: one buffer-pool access per
+            # interior level plus the leaf, with fix_page's hit protocol
+            # flattened (miss / make-young delegate to the pool).  The
+            # descent-path cache of ``interior_pages`` and the slot math
+            # of ``leaf_page`` are inlined too — both recompute the same
+            # leaf slot.
+            index_obj = table.index
+            level_cost = index_obj.level_cpu_cost
+            slot = (key % index_obj.n_keys) // index_obj.keys_per_leaf
+            path = index_obj._full_path_cache.get(slot)
+            if path is None:
+                path = index_obj._full_path_cache[slot] = (
+                    index_obj.interior_pages(key)
+                    + ((index_obj.name, "leaf", slot),)
+                )
+            last = len(path) - 1
+            for i, page_id in enumerate(path):
+                dirty_here = dirty and i == last
+                yield level_cost
+                while True:
+                    page = pages_get(page_id)
+                    if page is None:
+                        pool.misses += 1
+                        pool._t_misses.inc()
+                        page = yield from pool._read_in(ctx, page_id)
+                        if dirty_here:
+                            page.dirty = True
+                        break
+                    pool.hits += 1
+                    t_hits.inc()
+                    yield hit_cost
+                    if pages_get(page_id) is not page:
+                        # Evicted while paused: take the miss path.
+                        continue
+                    if dirty_here:
+                        page.dirty = True
+                    if page_id in lru._old:
+                        promote = True
+                    else:
+                        young = lru._young
+                        if page_id not in young:
+                            raise KeyError("page %r not in LRU" % (page_id,))
+                        promote = (lru._clock - lru._stamp.get(page_id, 0)) > (
+                            lru.young_reorder_depth * len(young)
+                        )
+                    if promote:
+                        yield from pool._make_young(ctx, page_id, backlog)
+                    break
+            if kind == "select":
+                yield row_cpu
+                if op.lock is not None:
+                    # sel_set_rec_lock -> lock_rec_lock, inline.
+                    mode = LockMode.X if op.lock == "X" else LockMode.S
+                    obj_id = table.lock_id(key)
+                    if bookkeeping:
+                        obj = objects_get(obj_id)
+                        entries = (
+                            0
+                            if obj is None
+                            else len(obj.granted) + len(obj.waiting)
+                        )
+                        if mutex.holder is None:
+                            mutex.holder = sim.current
+                            mutex.total_acquisitions += 1
+                        else:
+                            yield from mutex.acquire()
+                        bk_cost = bk_base + bk_per_entry * entries * scan_frac
+                        lockmgr.bookkeeping_time += bk_cost
+                        yield bk_cost
+                        mutex.release()
+                    request = lockmgr.request(ctx, obj_id, mode)
+                    status = request.status
+                    if status is WAITING:
+                        yield from lockmgr.wait(request)
+                        status = request.status
+                    if status is not GRANTED:
+                        ctx.abort_reason = (
+                            "deadlock" if status is DEADLOCK else "timeout"
+                        )
+                        yield from self.lockmgr.release_all_timed(ctx)
+                        return False
+            elif kind == "update":
+                yield row_cpu
+            else:
+                # BTreeIndex.insert_body, inline.
+                draw = rng.random()
+                if draw < index_obj.reorg_probability:
+                    yield index_obj.reorg_cpu_cost
+                elif draw < index_obj.reorg_probability + index_obj.split_probability:
+                    yield index_obj.split_cpu_cost
+                else:
+                    yield index_obj.insert_cpu_cost
+            redo_bytes += table.redo_bytes(kind)
+        # innobase_commit (_commit), inline.
+        yield self.config.commit_cpu
+        if redo_bytes:
+            yield from self.redo.commit(ctx, redo_bytes)
         yield from self.lockmgr.release_all_timed(ctx)
         return True
 
@@ -267,7 +474,7 @@ class MySQLEngine(Engine):
                 ctx, op.key, self.pool, dirty=False, backlog=worker.llu_backlog
             ),
         )
-        yield Timeout(self.config.row_cpu)
+        yield self.config.row_cpu
         if op.lock is not None:
             ok = yield from self.tracer.traced(
                 ctx, "sel_set_rec_lock", self._sel_set_rec_lock(ctx, op, table)
@@ -299,7 +506,7 @@ class MySQLEngine(Engine):
                 ctx, op.key, self.pool, dirty=True, backlog=worker.llu_backlog
             ),
         )
-        yield Timeout(self.config.row_cpu)
+        yield self.config.row_cpu
         return True
 
     def _row_insert(self, worker, ctx, op, table):
@@ -353,7 +560,7 @@ class MySQLEngine(Engine):
     # -- commit ----------------------------------------------------------
 
     def _commit(self, ctx, redo_bytes):
-        yield Timeout(self.config.commit_cpu)
+        yield self.config.commit_cpu
         if redo_bytes == 0:
             return  # read-only transaction: nothing to make durable
         yield from self.tracer.traced(

@@ -34,7 +34,6 @@ from repro.lockmgr.locks import LockMode
 from repro.lockmgr.manager import LockManager, RequestStatus
 from repro.lockmgr.scheduling import make_scheduler
 from repro.sim.disk import Disk, DiskConfig
-from repro.sim.kernel import Timeout
 from repro.sim.rand import LogNormal
 from repro.storage.tables import TableCatalog
 from repro.wal.pg_wal import ParallelWAL, WALConfig, WALWriter
@@ -189,7 +188,7 @@ class PostgresEngine(Engine):
 
     def _executor_run(self, ctx, op, table):
         """Generator: one statement.  Evaluates to (ok, predicate_locks)."""
-        yield Timeout(self.config.statement_cpu)
+        yield self.config.statement_cpu
         yield from self.tracer.traced(ctx, "index_fetch", self._index_fetch())
         locks = 0
         if op.kind == "select":
@@ -208,10 +207,10 @@ class PostgresEngine(Engine):
         return True, locks
 
     def _index_fetch(self):
-        yield Timeout(self._index_cpu.sample(self.rng))
+        yield self._index_cpu.sample(self.rng)
 
     def _predicate_lock(self):
-        yield Timeout(self.config.predicate_lock_cpu)
+        yield self.config.predicate_lock_cpu
 
     def _heap_lock_tuple(self, ctx, op, table, mode):
         ok = yield from self.tracer.traced(
@@ -237,7 +236,7 @@ class PostgresEngine(Engine):
     # ------------------------------------------------------------------
 
     def _commit_transaction(self, ctx, redo_bytes, predicate_locks):
-        yield Timeout(self.config.commit_cpu)
+        yield self.config.commit_cpu
         if redo_bytes:
             # Read-only transactions write no commit record and never
             # touch the WALWriteLock.
@@ -261,7 +260,7 @@ class PostgresEngine(Engine):
         """Release SIREAD locks; cost varies with conflicts discovered."""
         if count == 0:
             return
-        yield Timeout(count * self.config.predicate_release_cpu)
+        yield count * self.config.predicate_release_cpu
         for _ in range(count):
             if self.rng.random() < self.config.predicate_conflict_prob:
-                yield Timeout(self.config.predicate_conflict_cpu)
+                yield self.config.predicate_conflict_cpu

@@ -15,7 +15,6 @@ manual recording path rather than stack-based frames.
 
 from repro.core.callgraph import CallGraph
 from repro.engines.base import Engine
-from repro.sim.kernel import Timeout
 from repro.sim.rand import HeavyTail, LogNormal, Pareto
 
 
@@ -102,8 +101,8 @@ class VoltDBEngine(Engine):
         service = self._service_time(spec)
         init_time = service * self.config.init_fraction
         run_time = service - init_time
-        yield Timeout(init_time)
-        yield Timeout(run_time)
+        yield init_time
+        yield run_time
         ctx.end_interval()
         root_key = ("transaction", "<root>")
         proc_key = ("execute_procedure", "transaction")

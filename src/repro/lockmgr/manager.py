@@ -30,7 +30,7 @@ engine aborts and retries it.  A lock-wait timeout (MySQL's
 import enum
 
 from repro.lockmgr.locks import LockMode, compatible, stronger_or_equal
-from repro.sim.kernel import Timeout, WaitEvent
+from repro.sim.kernel import WaitEvent
 from repro.sim.resources import Mutex
 
 
@@ -178,7 +178,9 @@ class LockManager:
         """
         self.total_requests += 1
         self._t_requests.inc()
-        held = self._held.setdefault(ctx, {})
+        held = self._held.get(ctx)
+        if held is None:
+            held = self._held[ctx] = {}
         current = held.get(obj_id)
         if current is not None and stronger_or_equal(current, mode):
             self.immediate_grants += 1
@@ -188,7 +190,9 @@ class LockManager:
         self._seq += 1
         request = LockRequest(ctx, obj_id, mode, self._seq, self.sim.now)
         request.upgrade = current is not None
-        obj = self._objects.setdefault(obj_id, _LockObject())
+        obj = self._objects.get(obj_id)
+        if obj is None:
+            obj = self._objects[obj_id] = _LockObject()
         self.scheduler.on_enqueue(request)
 
         if self._can_grant_on_arrival(obj, request):
@@ -280,12 +284,32 @@ class LockManager:
         )
         yield from self.lock_sys_mutex.acquire()
         self.bookkeeping_time += cost
-        yield Timeout(cost)
+        yield cost
         self.lock_sys_mutex.release()
 
     def request_timed(self, ctx, obj_id, mode):
-        """Generator: :meth:`request` preceded by its bookkeeping cost."""
-        yield from self.charge_bookkeeping(self._scan_entries(obj_id))
+        """Generator: :meth:`request` preceded by its bookkeeping cost.
+
+        ``charge_bookkeeping`` is inlined here (with the uncontended
+        mutex-acquire fast path flattened) — this runs once per lock
+        request, and the two extra generator frames cost real wall time.
+        """
+        if self.bookkeeping:
+            obj = self._objects.get(obj_id)
+            entries = 0 if obj is None else len(obj.granted) + len(obj.waiting)
+            cost = (
+                self.bookkeeping_base
+                + self.bookkeeping_per_entry * entries * self._scan_fraction()
+            )
+            mutex = self.lock_sys_mutex
+            if mutex.holder is None:
+                mutex.holder = self.sim.current
+                mutex.total_acquisitions += 1
+            else:
+                yield from mutex.acquire()
+            self.bookkeeping_time += cost
+            yield cost
+            mutex.release()
         return self.request(ctx, obj_id, mode)
 
     def release_all_timed(self, ctx):
@@ -293,7 +317,19 @@ class LockManager:
         held = self._held.get(ctx, {})
         if self.bookkeeping and held:
             entries = sum(self._scan_entries(obj_id) for obj_id in held)
-            yield from self.charge_bookkeeping(entries)
+            cost = (
+                self.bookkeeping_base
+                + self.bookkeeping_per_entry * entries * self._scan_fraction()
+            )
+            mutex = self.lock_sys_mutex
+            if mutex.holder is None:
+                mutex.holder = self.sim.current
+                mutex.total_acquisitions += 1
+            else:
+                yield from mutex.acquire()
+            self.bookkeeping_time += cost
+            yield cost
+            mutex.release()
         self.release_all(ctx)
 
     def acquire(self, ctx, obj_id, mode):
@@ -311,6 +347,8 @@ class LockManager:
         grant pass on each touched object.
         """
         waiting = self._waiting_request.pop(ctx, None)
+        objects = self._objects
+        objects_get = objects.get
         # Ordered set (insertion = lock-acquisition order).  Iterating a
         # plain set of obj_ids would wake waiters in str-hash order, which
         # varies with PYTHONHASHSEED and breaks cross-process
@@ -318,14 +356,14 @@ class LockManager:
         # deterministically below via ``release_rng``.
         touched = {}
         if waiting is not None and waiting.status is RequestStatus.WAITING:
-            obj = self._objects.get(waiting.obj_id)
+            obj = objects_get(waiting.obj_id)
             if obj is not None:
                 self._remove_waiter(obj, waiting)
                 touched[waiting.obj_id] = None
             waiting.status = RequestStatus.CANCELLED
         held = self._held.pop(ctx, {})
         for obj_id in held:
-            obj = self._objects.get(obj_id)
+            obj = objects_get(obj_id)
             if obj is None:
                 continue
             obj.granted = [r for r in obj.granted if r.txn is not ctx]
@@ -333,13 +371,14 @@ class LockManager:
         order = list(touched)
         if self._release_rng is not None and len(order) > 1:
             self._release_rng.shuffle(order)
+        grant_pass = self._grant_pass
         for obj_id in order:
-            obj = self._objects.get(obj_id)
+            obj = objects_get(obj_id)
             if obj is None:
                 continue
-            self._grant_pass(obj)
-            if obj.empty:
-                del self._objects[obj_id]
+            grant_pass(obj)
+            if not obj.granted and not obj.waiting:
+                del objects[obj_id]
 
     def held_locks(self, ctx):
         """``{obj_id: mode}`` currently held by ``ctx``."""
@@ -390,7 +429,9 @@ class LockManager:
             self.grant_log.append((request.txn, self.sim.now))
             self._t_grants_after_wait.inc()
         obj.granted.append(request)
-        held = self._held.setdefault(request.txn, {})
+        held = self._held.get(request.txn)
+        if held is None:
+            held = self._held[request.txn] = {}
         if request.upgrade or request.mode is LockMode.X:
             held[request.obj_id] = LockMode.X
         else:

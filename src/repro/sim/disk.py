@@ -20,7 +20,6 @@ are no-ops behind the ``faults.enabled`` check when no plan is active.
 """
 
 from repro.faults.injector import TransientIOError
-from repro.sim.kernel import Timeout
 from repro.sim.rand import HeavyTail, LogNormal, Pareto
 
 
@@ -176,7 +175,7 @@ class Disk:
         self._t_queue_delay.observe(start - self.sim.now)
         self._t_service.observe(service_time)
         self._busy_until = start + service_time
-        yield Timeout(self._busy_until - self.sim.now)
+        yield self._busy_until - self.sim.now
 
     def write(self, nbytes):
         """Generator: a buffered write of ``nbytes`` (no durability)."""

@@ -4,8 +4,9 @@ A :class:`Simulator` owns a virtual clock (``now``, in microseconds) and a
 priority queue of scheduled wakeups.  Simulated activities are *processes*:
 plain Python generator functions that ``yield`` command objects —
 
-- ``yield Timeout(delay)`` — resume after ``delay`` microseconds of
-  virtual time;
+- ``yield delay`` — a bare non-negative ``float``: resume after ``delay``
+  microseconds of virtual time (the zero-allocation fast path);
+- ``yield Timeout(delay)`` — the same, as an explicit command object;
 - ``yield WaitEvent(event)`` — block until ``event`` fires; the yield
   evaluates to ``True``;
 - ``yield WaitEvent(event, timeout=t)`` — block until the event fires or
@@ -18,13 +19,40 @@ Sub-calls compose with ``yield from``, so simulated "functions" nest like
 ordinary Python calls.  Determinism: ties in wakeup time are broken by a
 monotonically increasing sequence number, so a run is a pure function of
 the initial configuration and the random seeds.
+
+Performance
+-----------
+
+Every paper experiment funnels through :meth:`Simulator.run`, so the
+dispatch loop is written for wall-clock speed: a single flat loop with
+hoisted locals replaces the ``_resume``/``_dispatch`` call chain, exact
+class checks replace the ``isinstance`` ladder, same-time wakeups go
+through a FIFO ``deque`` instead of heap round-trips, and the
+per-dispatch telemetry updates are accumulated locally and flushed when
+the loop exits.  None of this may be visible in *virtual* time: the
+straightforward loop is preserved in :mod:`repro.sim.refkernel` and
+``tests/test_kernel_differential.py`` plus the golden digests in
+``tests/test_equivalence_goldens.py`` pin this kernel to its exact
+semantics — same (config, seed) ⇒ byte-identical results.
+
+The ready-deque short-cut is order-preserving because the global
+sequence counter is monotonic: a wakeup scheduled *for* the current
+time was necessarily scheduled *at* the current time, so it carries a
+higher sequence number than every heap entry for this same time (those
+were pushed before the clock got here) — draining the same-time heap
+entries first, then the deque in FIFO order, reproduces exact
+``(time, seq)`` heap order without paying ``heappush``/``heappop`` for
+the ~half of all wakeups that are same-time resumptions.
 """
 
 import math
+from collections import deque
 from heapq import heappop, heappush
 
 from repro.faults.injector import NO_FAULTS
 from repro.telemetry.registry import NULL_REGISTRY
+
+_INF = math.inf
 
 
 class SimulationError(Exception):
@@ -145,6 +173,15 @@ class Process:
         return "<Process %s (%s)>" % (self.name, state)
 
 
+class _TimeoutCheck:
+    """Heap placeholder that wakes a waiter with False if still parked."""
+
+    __slots__ = ("waiter",)
+
+    def __init__(self, waiter):
+        self.waiter = waiter
+
+
 class Simulator:
     """The event loop: a virtual clock plus a heap of scheduled wakeups.
 
@@ -154,6 +191,10 @@ class Simulator:
     observability through the whole stack.  ``faults`` is the run's
     :class:`~repro.faults.FaultInjector` (or the shared null injector),
     distributed the same way.
+
+    ``dispatch_count`` is a plain always-maintained int (unlike the
+    ``sim.dispatches`` counter it needs no registry), so wall-clock
+    harnesses can compute events/sec on telemetry-off runs.
     """
 
     def __init__(self, telemetry=None, faults=None):
@@ -161,7 +202,10 @@ class Simulator:
         self.current = None
         self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
         self.faults = faults if faults is not None else NO_FAULTS
+        self.dispatch_count = 0
         self._heap = []
+        # Wakeups due at the current virtual time, in schedule order.
+        self._ready = deque()
         self._seq = 0
         self._spawned = 0
         self._t_enabled = self.telemetry.enabled
@@ -189,25 +233,240 @@ class Simulator:
         return Event(self)
 
     def run(self, until=None):
-        """Run until the heap drains or the clock passes ``until``.
+        """Run until all wakeups drain or the clock passes ``until``.
 
-        Returns the final virtual time.
+        Returns the final virtual time.  The clock never moves
+        backwards: an ``until`` already in the past leaves ``now``
+        untouched and runs nothing (everything pending is due at ``now``
+        or later).
         """
+        now = self.now
+        if until is not None and until < now:
+            return now
         heap = self._heap
+        ready = self._ready
+        pop = heappop
+        push = heappush
+        popleft = ready.popleft
+        append = ready.append
         telemetry_on = self._t_enabled
-        while heap:
-            time, _seq, process, value = heappop(heap)
-            if until is not None and time > until:
-                # Put it back so a later run() continues from here.
-                heappush(heap, (time, _seq, process, value))
-                self.now = until
-                return self.now
-            self.now = time
-            if telemetry_on:
-                self._t_dispatches.inc()
-                self._t_runq_depth.set(len(heap))
-            self._resume(process, value)
-        return self.now
+        n_dispatched = 0
+        runq_max = -1
+        runq_last = 0
+        try:
+            while True:
+                # Pick the next wakeup in exact (time, seq) order: heap
+                # entries already due (lower seq than anything in the
+                # deque — see module docstring), then the ready deque,
+                # then advance the clock to the earliest future entry.
+                if heap and heap[0][0] <= now:
+                    _, _, process, value = pop(heap)
+                elif ready:
+                    process, value = popleft()
+                elif heap:
+                    time = heap[0][0]
+                    if until is not None and time > until:
+                        now = until
+                        break
+                    _, _, process, value = pop(heap)
+                    self.now = now = time
+                else:
+                    break
+
+                n_dispatched += 1
+                if telemetry_on:
+                    depth = len(heap) + len(ready)
+                    if depth > runq_max:
+                        runq_max = depth
+                    runq_last = depth
+
+                if process.__class__ is _TimeoutCheck:
+                    waiter = process.waiter
+                    if not waiter.active:
+                        continue
+                    waiter.active = False
+                    process = waiter.process
+                    value = False
+                if process.done.fired:
+                    continue
+
+                # Inner resume loop: each command branch either parks the
+                # process (``break`` back to the selection above) or —
+                # when the wakeup is provably the very next dispatch —
+                # advances the clock and resumes the same process
+                # directly (``continue``), skipping the heap round-trip.
+                # The direct resume preserves exact (time, seq) order: a
+                # fresh push would carry the highest seq, so it only
+                # fires next when nothing is ready, every heap entry is
+                # strictly later, and ``until`` is not crossed.
+                while True:
+                    self.current = process
+                    try:
+                        command = process.gen.send(value)
+                    except StopIteration as stop:
+                        self.current = None
+                        process.done.fire(stop.value)
+                        break
+                    except BaseException:
+                        self.current = None
+                        raise
+                    self.current = None
+
+                    tc = command.__class__
+                    if tc is float:
+                        # Bare-float shorthand for Timeout(command).  The
+                        # chained comparison is the exact Timeout guard:
+                        # NaN fails both sides, inf fails the right one.
+                        if 0.0 <= command < _INF:
+                            t = now + command
+                            if t > now:
+                                if (
+                                    not ready
+                                    and (not heap or t < heap[0][0])
+                                    and (until is None or t <= until)
+                                ):
+                                    self.now = now = t
+                                    n_dispatched += 1
+                                    if telemetry_on:
+                                        depth = len(heap) + len(ready)
+                                        if depth > runq_max:
+                                            runq_max = depth
+                                        runq_last = depth
+                                    value = None
+                                    continue
+                                self._seq = seq = self._seq + 1
+                                push(heap, (t, seq, process, None))
+                            else:
+                                append((process, None))
+                            break
+                        raise SimulationError(
+                            "Timeout delay must be finite and >= 0, got %r"
+                            % (command,)
+                        )
+                    if tc is Timeout:
+                        t = now + command.delay
+                        if t > now:
+                            if (
+                                not ready
+                                and (not heap or t < heap[0][0])
+                                and (until is None or t <= until)
+                            ):
+                                self.now = now = t
+                                n_dispatched += 1
+                                if telemetry_on:
+                                    depth = len(heap) + len(ready)
+                                    if depth > runq_max:
+                                        runq_max = depth
+                                    runq_last = depth
+                                value = None
+                                continue
+                            self._seq = seq = self._seq + 1
+                            push(heap, (t, seq, process, None))
+                        else:
+                            append((process, None))
+                        break
+                    if tc is WaitEvent:
+                        event = command.event
+                        if event.fired:
+                            if not ready and (not heap or heap[0][0] > now):
+                                # Already fired and nothing else is due
+                                # at this time: resume without the
+                                # ready-deque round-trip.
+                                n_dispatched += 1
+                                if telemetry_on:
+                                    depth = len(heap) + len(ready)
+                                    if depth > runq_max:
+                                        runq_max = depth
+                                    runq_last = depth
+                                value = True
+                                continue
+                            append((process, True))
+                        else:
+                            waiter = _Waiter(process)
+                            event._waiters.append(waiter)
+                            timeout = command.timeout
+                            if timeout is not None:
+                                t = now + timeout
+                                if t > now:
+                                    self._seq = seq = self._seq + 1
+                                    push(
+                                        heap, (t, seq, _TimeoutCheck(waiter), None)
+                                    )
+                                else:
+                                    append((_TimeoutCheck(waiter), None))
+                        break
+                    if tc is Event:
+                        if command.fired:
+                            if not ready and (not heap or heap[0][0] > now):
+                                n_dispatched += 1
+                                if telemetry_on:
+                                    depth = len(heap) + len(ready)
+                                    if depth > runq_max:
+                                        runq_max = depth
+                                    runq_last = depth
+                                value = True
+                                continue
+                            append((process, True))
+                        else:
+                            command._waiters.append(_Waiter(process))
+                        break
+                    if tc is Process:
+                        event = command.done
+                        if event.fired:
+                            if not ready and (not heap or heap[0][0] > now):
+                                n_dispatched += 1
+                                if telemetry_on:
+                                    depth = len(heap) + len(ready)
+                                    if depth > runq_max:
+                                        runq_max = depth
+                                    runq_last = depth
+                                value = True
+                                continue
+                            append((process, True))
+                        else:
+                            event._waiters.append(_Waiter(process))
+                        break
+                    if tc is int:
+                        # Ints work as bare delays too (config knobs are
+                        # sometimes written as ints); bool deliberately
+                        # does not — `yield True` is always a bug.
+                        if 0 <= command < _INF:
+                            t = now + command
+                            if t > now:
+                                if (
+                                    not ready
+                                    and (not heap or t < heap[0][0])
+                                    and (until is None or t <= until)
+                                ):
+                                    self.now = now = t
+                                    n_dispatched += 1
+                                    if telemetry_on:
+                                        depth = len(heap) + len(ready)
+                                        if depth > runq_max:
+                                            runq_max = depth
+                                        runq_last = depth
+                                    value = None
+                                    continue
+                                self._seq = seq = self._seq + 1
+                                push(heap, (t, seq, process, None))
+                            else:
+                                append((process, None))
+                            break
+                        raise SimulationError(
+                            "Timeout delay must be finite and >= 0, got %r"
+                            % (command,)
+                        )
+                    self._dispatch_slow(process, command)
+                    break
+        finally:
+            self.now = now
+            self.dispatch_count += n_dispatched
+            if telemetry_on and n_dispatched:
+                self._t_dispatches.inc(n_dispatched)
+                gauge = self._t_runq_depth
+                gauge.set(runq_max)
+                gauge.set(runq_last)
+        return now
 
     def run_until_idle(self):
         """Alias of :meth:`run` with no time bound."""
@@ -218,38 +477,40 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _schedule(self, delay, process, value):
-        self._seq += 1
-        heappush(self._heap, (self.now + delay, self._seq, process, value))
+        """Queue ``process`` to resume with ``value`` after ``delay``.
+
+        Wakeups due at the current time go to the ready deque (they
+        carry a higher notional seq than every same-time heap entry, so
+        FIFO order there preserves global (time, seq) order); future
+        wakeups take a real sequence number onto the heap.
+        """
+        now = self.now
+        t = now + delay
+        if t > now:
+            self._seq = seq = self._seq + 1
+            heappush(self._heap, (t, seq, process, value))
+        else:
+            self._ready.append((process, value))
 
     def _schedule_timeout_check(self, delay, waiter):
         """Arrange for ``waiter`` to be woken with False after ``delay``."""
-        self._seq += 1
-        heappush(self._heap, (self.now + delay, self._seq, _TimeoutCheck(waiter), None))
+        self._schedule(delay, _TimeoutCheck(waiter), None)
 
-    def _resume(self, process, value):
-        if isinstance(process, _TimeoutCheck):
-            waiter = process.waiter
-            if waiter.active:
-                waiter.active = False
-                self._resume(waiter.process, False)
+    def _wait(self, process, event, timeout):
+        waiter = event._add_waiter(process)
+        if waiter is None:
+            # Already fired: resume immediately with True.
+            self._schedule(0, process, True)
             return
-        if not process.alive:
-            return
-        previous = self.current
-        self.current = process
-        try:
-            command = process.gen.send(value)
-        except StopIteration as stop:
-            self.current = previous
-            process.done.fire(stop.value)
-            return
-        except BaseException:
-            self.current = previous
-            raise
-        self.current = previous
-        self._dispatch(process, command)
+        if timeout is not None:
+            self._schedule_timeout_check(timeout, waiter)
 
-    def _dispatch(self, process, command):
+    def _dispatch_slow(self, process, command):
+        """Commands the fast loop's exact-class checks missed.
+
+        Subclasses of the command types land here and get the original
+        ``isinstance`` treatment; anything else is a genuine error.
+        """
         if isinstance(command, Timeout):
             self._schedule(command.delay, process, None)
         elif isinstance(command, WaitEvent):
@@ -262,21 +523,3 @@ class Simulator:
             raise SimulationError(
                 "process %s yielded unsupported command %r" % (process.name, command)
             )
-
-    def _wait(self, process, event, timeout):
-        waiter = event._add_waiter(process)
-        if waiter is None:
-            # Already fired: resume immediately with True.
-            self._schedule(0, process, True)
-            return
-        if timeout is not None:
-            self._schedule_timeout_check(timeout, waiter)
-
-
-class _TimeoutCheck:
-    """Heap placeholder that wakes a waiter with False if still parked."""
-
-    __slots__ = ("waiter",)
-
-    def __init__(self, waiter):
-        self.waiter = waiter

@@ -8,7 +8,7 @@ queues (VoltDB's task queues and the background log-flusher inbox).
 
 from collections import deque
 
-from repro.sim.kernel import SimulationError, Timeout, WaitEvent
+from repro.sim.kernel import SimulationError, WaitEvent
 
 
 class _MutexEntry:
@@ -140,7 +140,7 @@ class SpinLock:
         """Generator: evaluate to True if acquired within the spin budget."""
         acquired = yield from self._mutex.try_acquire(self.spin_timeout)
         if self.spin_overhead:
-            yield Timeout(self.spin_overhead)
+            yield self.spin_overhead
         if not acquired:
             self.timeouts += 1
         return acquired
@@ -194,10 +194,15 @@ class CoreSet:
             return
         self.total_bursts += 1
         self.total_busy += cost
-        index = min(range(self.n_cores), key=self._busy_until.__getitem__)
-        start = max(self.sim.now, self._busy_until[index])
-        self._busy_until[index] = start + cost
-        yield Timeout(self._busy_until[index] - self.sim.now)
+        busy = self._busy_until
+        index = busy.index(min(busy))
+        now = self.sim.now
+        start = busy[index]
+        if now > start:
+            start = now
+        end = start + cost
+        busy[index] = end
+        yield end - now
 
 
 class WaitQueue:

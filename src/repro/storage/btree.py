@@ -20,8 +20,6 @@ the paper reports (9.3% of overall variance in the 128-WH config).
 import enum
 import math
 
-from repro.sim.kernel import Timeout
-
 
 class InsertOutcome(enum.Enum):
     IN_PAGE = "in_page"
@@ -69,6 +67,11 @@ class BTreeIndex:
         self.n_leaves = max(1, int(math.ceil(n_keys / float(keys_per_leaf))))
         # Depth counts the levels *above* the leaf level.
         self.depth = self._compute_depth()
+        # slot -> tuple of interior page ids (see interior_pages).
+        self._path_cache = {}
+        # slot -> full descent path (interior pages + leaf), for callers
+        # that walk the whole path at once.  Bounded by n_leaves.
+        self._full_path_cache = {}
 
     def _compute_depth(self):
         depth = 0
@@ -88,14 +91,22 @@ class BTreeIndex:
         return (self.name, "leaf", leaf)
 
     def interior_pages(self, key):
-        """Page ids of the interior nodes a search for ``key`` descends."""
-        pages = []
+        """Page ids of the interior nodes a search for ``key`` descends.
+
+        Pure function of the leaf slot, so descents are cached: hot keys
+        hit the same few slots (that is the point of the workload skew)
+        and rebuild the same path tuples millions of times otherwise.
+        The cache is bounded by ``n_leaves``.
+        """
         slot = (key % self.n_keys) // self.keys_per_leaf
-        width = self.n_leaves
-        for level in range(self.depth, 0, -1):
-            width = int(math.ceil(width / float(self.fanout)))
-            slot = slot // self.fanout
-            pages.append((self.name, "int%d" % level, slot))
+        pages = self._path_cache.get(slot)
+        if pages is None:
+            path = []
+            level_slot = slot
+            for level in range(self.depth, 0, -1):
+                level_slot = level_slot // self.fanout
+                path.append((self.name, "int%d" % level, level_slot))
+            pages = self._path_cache[slot] = tuple(path)
         return pages
 
     def iter_pages(self):
@@ -131,9 +142,9 @@ class BTreeIndex:
         Evaluates to the leaf page id.
         """
         for page_id in self.interior_pages(key):
-            yield Timeout(self.level_cpu_cost)
+            yield self.level_cpu_cost
             yield from pool.fix_page(ctx, page_id, dirty=False, backlog=backlog)
-        yield Timeout(self.level_cpu_cost)
+        yield self.level_cpu_cost
         leaf = self.leaf_page(key)
         yield from pool.fix_page(ctx, leaf, dirty=dirty, backlog=backlog)
         return leaf
@@ -146,12 +157,12 @@ class BTreeIndex:
         """
         draw = rng.random()
         if draw < self.reorg_probability:
-            yield Timeout(self.reorg_cpu_cost)
+            yield self.reorg_cpu_cost
             return InsertOutcome.TREE_REORG
         if draw < self.reorg_probability + self.split_probability:
-            yield Timeout(self.split_cpu_cost)
+            yield self.split_cpu_cost
             return InsertOutcome.PAGE_SPLIT
-        yield Timeout(self.insert_cpu_cost)
+        yield self.insert_cpu_cost
         return InsertOutcome.IN_PAGE
 
     def __repr__(self):

@@ -15,6 +15,7 @@ be compared byte-for-byte across same-seed runs.
 """
 
 import math
+from bisect import bisect_right
 
 
 class GKSketch:
@@ -25,7 +26,7 @@ class GKSketch:
     stream is within ``epsilon * n`` of ``ceil(q * n)``.
     """
 
-    __slots__ = ("epsilon", "n", "_entries", "_compress_interval")
+    __slots__ = ("epsilon", "n", "_entries", "_keys", "_compress_interval")
 
     def __init__(self, epsilon=0.01):
         if not 0.0 < epsilon < 1.0:
@@ -33,8 +34,11 @@ class GKSketch:
         self.epsilon = epsilon
         self.n = 0
         # Sorted list of [value, g, delta]: g is the gap in minimum rank
-        # to the previous tuple, delta the uncertainty span.
+        # to the previous tuple, delta the uncertainty span.  ``_keys``
+        # mirrors the values so inserts can use the C ``bisect`` instead
+        # of a Python-level binary search over the entry lists.
         self._entries = []
+        self._keys = []
         self._compress_interval = max(1, int(1.0 / (2.0 * epsilon)))
 
     def observe(self, value):
@@ -42,23 +46,49 @@ class GKSketch:
         value = float(value)
         if math.isnan(value):
             raise ValueError("cannot observe NaN")
-        entries = self._entries
-        lo, hi = 0, len(entries)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if entries[mid][0] <= value:
-                lo = mid + 1
-            else:
-                hi = mid
-        if lo == 0 or lo == len(entries):
+        keys = self._keys
+        lo = bisect_right(keys, value)
+        if lo == 0 or lo == len(keys):
             # New minimum or maximum: must be exact (delta = 0).
             delta = 0
         else:
             delta = int(math.floor(2.0 * self.epsilon * self.n))
-        entries.insert(lo, [value, 1, delta])
+        self._entries.insert(lo, [value, 1, delta])
+        keys.insert(lo, value)
         self.n += 1
         if self.n % self._compress_interval == 0:
             self._compress()
+
+    def observe_many(self, values):
+        """Fold a batch of observations, amortising the per-item overhead.
+
+        State evolution (including the every-``1/2eps``-items compress
+        cadence) is identical to calling :meth:`observe` per item.
+        """
+        entries = self._entries
+        keys = self._keys
+        epsilon2 = 2.0 * self.epsilon
+        interval = self._compress_interval
+        n = self.n
+        floor = math.floor
+        for value in values:
+            value = float(value)
+            if math.isnan(value):
+                raise ValueError("cannot observe NaN")
+            lo = bisect_right(keys, value)
+            if lo == 0 or lo == len(keys):
+                delta = 0
+            else:
+                delta = int(floor(epsilon2 * n))
+            entries.insert(lo, [value, 1, delta])
+            keys.insert(lo, value)
+            n += 1
+            if n % interval == 0:
+                self.n = n
+                self._compress()
+                entries = self._entries
+                keys = self._keys
+        self.n = n
 
     def _compress(self):
         """Merge adjacent tuples whose combined band fits the invariant."""
@@ -75,6 +105,7 @@ class GKSketch:
                 nxt[1] += cur[1]
                 del entries[i]
             i -= 1
+        self._keys = [e[0] for e in entries]
 
     def quantile(self, q):
         """A value whose rank is within ``epsilon * n`` of ``ceil(q * n)``."""

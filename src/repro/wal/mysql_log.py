@@ -24,7 +24,7 @@ instead of losing durability (``wal.<name>.io_retries`` counts them).
 
 import enum
 
-from repro.sim.kernel import Timeout, WaitEvent
+from repro.sim.kernel import WaitEvent
 from repro.wal.retry_io import RetryingDisk
 
 
@@ -100,7 +100,7 @@ class RedoLog:
         The traced frame names mirror InnoDB: ``log_write_up_to`` wraps
         the whole commit wait and ``fil_flush`` wraps the actual fsync.
         """
-        yield Timeout(self.config.append_cost)
+        yield self.config.append_cost
         lsn = self.append(nbytes)
         self._maybe_start_flusher()
         policy = self.config.policy
@@ -184,7 +184,7 @@ class RedoLog:
         ticking forever.
         """
         while True:
-            yield Timeout(self.config.flusher_interval)
+            yield self.config.flusher_interval
             target = self.current_lsn
             pending_write = max(0, target - self.written_lsn)
             if pending_write and self.config.policy is FlushPolicy.LAZY_WRITE:

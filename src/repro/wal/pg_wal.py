@@ -20,7 +20,7 @@ wait — on the one with fewer waiters.
 
 import math
 
-from repro.sim.kernel import Timeout, WaitEvent
+from repro.sim.kernel import WaitEvent
 from repro.wal.retry_io import RetryingDisk
 
 
@@ -81,7 +81,7 @@ class WALWriter:
 
     def commit(self, ctx, nbytes, txn_id=None):
         """Generator: flush this transaction's WAL (possibly by proxy)."""
-        yield Timeout(self.config.append_cost)
+        yield self.config.append_cost
         lsn = self.append(nbytes)
         while self.durable_lsn < lsn:
             acquired = yield from self.tracer.traced(

@@ -20,7 +20,6 @@ this model treats as fatal.
 
 from repro.faults.injector import TransientIOError
 from repro.faults.retry import RetryPolicy
-from repro.sim.kernel import Timeout
 
 
 def default_wal_retry_policy():
@@ -65,5 +64,5 @@ class RetryingDisk:
                 self.io_retries += 1
                 self._t_retries.inc()
                 policy.note_retry("io_error")
-                yield Timeout(policy.backoff(attempt, self.sim.faults.retry_rng))
+                yield policy.backoff(attempt, self.sim.faults.retry_rng)
                 attempt += 1

@@ -15,7 +15,6 @@ that exercises the engines' bounded-queue shedding and deadline paths.
 """
 
 from repro.core.annotations import TransactionContext
-from repro.sim.kernel import Timeout
 
 
 class LoadDriver:
@@ -68,5 +67,5 @@ class LoadDriver:
                 gap += self._rng.uniform(-spread, spread)
             if self._faults.enabled:
                 gap /= self._faults.arrival_rate_factor(self.sim.now)
-            yield Timeout(max(0.0, gap))
+            yield max(0.0, gap)
         self.engine.drain()

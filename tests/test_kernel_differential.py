@@ -1,0 +1,154 @@
+"""Differential testing: fast kernel vs the reference kernel.
+
+``repro.sim.kernel.Simulator`` is a fast-path rewrite of
+``repro.sim.refkernel.ReferenceSimulator`` (the verbatim
+pre-optimisation loop).  Hypothesis generates random process programs —
+bare-float/int delays, ``Timeout``s, events, timed waits, nested
+``yield from`` sub-calls, dynamic spawns, process joins — and runs each
+program on both kernels.  The full observable behaviour must match:
+the event trace (every step with its virtual timestamp), every process
+return value, the final clock, and the dispatch count.
+
+The program shapes deliberately cover the fast paths the production
+kernel added: long runs of same-process delays (direct resume without a
+heap round-trip), waits on already-fired events (immediate resume), and
+zero delays (ready-deque path).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import Simulator, Timeout, WaitEvent
+from repro.sim.refkernel import ReferenceSimulator
+
+N_EVENTS = 3
+
+# Delays from a small grid: collisions in wakeup times are the
+# interesting case (tie-break order), and coarse values keep float
+# arithmetic identical trivially.
+_delays = st.sampled_from([0.0, 0.25, 0.5, 1.0, 1.5, 2.0, 5.0])
+_int_delays = st.integers(min_value=0, max_value=3)
+_event_idx = st.integers(min_value=0, max_value=N_EVENTS - 1)
+
+_leaf_op = st.one_of(
+    st.tuples(st.just("delay"), _delays),
+    st.tuples(st.just("timeout"), _delays),
+    st.tuples(st.just("idelay"), _int_delays),
+    st.tuples(st.just("wait"), _event_idx,
+              st.one_of(st.none(), _delays)),
+    st.tuples(st.just("fire"), _event_idx),
+)
+
+
+def _ops(children):
+    return st.lists(children, min_size=0, max_size=6)
+
+
+# Two levels of nesting: leaf ops, then ops that carry a sub-program
+# (either inlined via ``yield from`` or spawned as its own process).
+_nested_op = st.one_of(
+    _leaf_op,
+    st.tuples(st.just("subcall"), _ops(_leaf_op)),
+    st.tuples(st.just("spawn"), _ops(_leaf_op), st.booleans()),
+)
+
+_program = st.lists(
+    st.lists(
+        st.one_of(
+            _nested_op,
+            st.tuples(st.just("subcall"), _ops(_nested_op)),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def _interp(sim, events, spec, trace, tag):
+    """Run one op-list; every step logs (tag, index, detail, now)."""
+    for i, op in enumerate(spec):
+        kind = op[0]
+        if kind == "delay":
+            yield op[1]
+        elif kind == "timeout":
+            yield Timeout(op[1])
+        elif kind == "idelay":
+            yield op[1]
+        elif kind == "wait":
+            fired = yield WaitEvent(events[op[1]], timeout=op[2])
+            trace.append((tag, i, "wait", fired, sim.now))
+        elif kind == "fire":
+            event = events[op[1]]
+            if not event.fired:
+                event.fire((tag, i))
+        elif kind == "subcall":
+            value = yield from _interp(sim, events, op[1], trace, tag + "s")
+            trace.append((tag, i, "sub", value, sim.now))
+        elif kind == "spawn":
+            child = sim.spawn(
+                _interp(sim, events, op[1], trace, "%sc%d" % (tag, i)),
+                name="%sc%d" % (tag, i),
+            )
+            if op[2]:
+                yield child
+                trace.append((tag, i, "join", child.done.value, sim.now))
+        trace.append((tag, i, "step", None, sim.now))
+    return (tag, sim.now)
+
+
+def _run(simulator_cls, program, until=None):
+    sim = simulator_cls()
+    events = [sim.event() for _ in range(N_EVENTS)]
+    trace = []
+    procs = [
+        sim.spawn(_interp(sim, events, spec, trace, "p%d" % i), name="p%d" % i)
+        for i, spec in enumerate(program)
+    ]
+    final = sim.run(until=until)
+    returns = [
+        proc.done.value if proc.done.fired else None for proc in procs
+    ]
+    return {
+        "trace": trace,
+        "returns": returns,
+        "final_clock": final,
+        "now": sim.now,
+        "dispatches": sim.dispatch_count,
+    }
+
+
+@settings(max_examples=200, deadline=None)
+@given(program=_program)
+def test_fast_kernel_matches_reference(program):
+    assert _run(Simulator, program) == _run(ReferenceSimulator, program)
+
+
+@settings(max_examples=50, deadline=None)
+@given(program=_program, until=_delays)
+def test_fast_kernel_matches_reference_with_until(program, until):
+    first = _run(Simulator, program, until=until)
+    second = _run(ReferenceSimulator, program, until=until)
+    assert first == second
+    # ``until`` is an upper bound for the clock, never a rewind target.
+    assert first["now"] <= max(until, 0.0) or first["now"] == 0.0
+
+
+def test_long_delay_chain_uses_direct_resume_identically():
+    """A single process yielding many bare floats: the production
+    kernel's same-process direct resume must count dispatches exactly
+    like the reference kernel's heap round-trips."""
+
+    def chain(sim):
+        for _ in range(100):
+            yield 0.5
+        return sim.now
+
+    results = []
+    for cls in (Simulator, ReferenceSimulator):
+        sim = cls()
+        proc = sim.spawn(chain(sim))
+        sim.run()
+        results.append((sim.now, sim.dispatch_count, proc.done.value))
+    assert results[0] == results[1]

@@ -255,6 +255,86 @@ def test_run_until_bound_pauses_and_resumes(sim):
     assert seen == [10.0]
 
 
+def test_run_until_in_the_past_never_moves_clock_backwards(sim):
+    """Regression: ``run(until=t)`` with ``t < now`` used to rewind the
+    clock to ``t``.  The clock is monotone; a past bound runs nothing
+    and leaves ``now`` untouched."""
+
+    def proc():
+        yield Timeout(10.0)
+
+    sim.spawn(proc())
+    sim.run()
+    assert sim.now == 10.0
+    assert sim.run(until=3.0) == 10.0
+    assert sim.now == 10.0
+
+
+def test_run_until_equal_to_now_is_a_noop_bound(sim):
+    def proc():
+        yield Timeout(2.0)
+        yield Timeout(2.0)
+
+    sim.spawn(proc())
+    assert sim.run(until=2.0) == 2.0
+    assert sim.now == 2.0
+    sim.run()
+    assert sim.now == 4.0
+
+
+def test_bare_float_yield_is_timeout_shorthand(sim):
+    seen = []
+
+    def proc():
+        yield 5.0
+        seen.append(sim.now)
+        yield 2.5
+        seen.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen == [5.0, 7.5]
+
+
+def test_bare_int_yield_is_timeout_shorthand(sim):
+    seen = []
+
+    def proc():
+        yield 3
+        seen.append(sim.now)
+        yield 0
+        seen.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen == [3.0, 3.0]
+
+
+@pytest.mark.parametrize(
+    "bad", [float("nan"), float("inf"), float("-inf"), -1.0, -0.001]
+)
+def test_bare_float_yield_rejects_invalid_delays(sim, bad):
+    """The bare-float fast path applies the exact ``Timeout`` guard:
+    negative, infinite and NaN delays raise instead of poisoning the
+    wakeup heap."""
+
+    def proc():
+        yield bad
+
+    sim.spawn(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_bare_negative_int_yield_rejected(sim):
+    def proc():
+        yield -1
+
+    sim.spawn(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
 def test_determinism_two_identical_sims():
     def build():
         sim = Simulator()

@@ -154,3 +154,101 @@ def test_zipfian_stays_in_range(n, theta):
     rng = random.Random(1)
     for _ in range(50):
         assert 0 <= zipf.sample(rng) < n
+
+
+class TestBufferedRandomEquivalence:
+    """``BufferedRandom`` must be value-identical to ``random.Random``.
+
+    The buffered uniform path, the native rebinding on mixed streams,
+    and the rewind-sync for direct core consumers are wall-clock
+    optimisations only: every draw sequence must match a plain
+    ``random.Random`` seeded identically, no matter how the call kinds
+    interleave.
+    """
+
+    OPS = ("random", "randint", "getrandbits", "randbytes",
+           "gauss", "lognormvariate", "shuffle", "getstate_roundtrip")
+
+    def _apply(self, rng, op):
+        if op == "random":
+            return rng.random()
+        if op == "randint":
+            return rng.randint(0, 10 ** 9)
+        if op == "getrandbits":
+            return rng.getrandbits(64)
+        if op == "randbytes":
+            return rng.randbytes(7)
+        if op == "gauss":
+            return rng.gauss(0.0, 1.0)
+        if op == "lognormvariate":
+            return rng.lognormvariate(0.1, 0.8)
+        if op == "shuffle":
+            items = list(range(10))
+            rng.shuffle(items)
+            return tuple(items)
+        state = rng.getstate()
+        rng.setstate(state)
+        return None
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ops=st.lists(
+            st.sampled_from(OPS + ("random",) * 4), min_size=1, max_size=400
+        ),
+        seed=st.integers(min_value=0, max_value=2 ** 32 - 1),
+    )
+    def test_torture_interleaving_matches_plain_random(self, ops, seed):
+        import random as stdlib_random
+
+        from repro.sim.rand import BufferedRandom
+
+        buffered = BufferedRandom(seed)
+        plain = stdlib_random.Random(seed)
+        for op in ops:
+            assert self._apply(buffered, op) == self._apply(plain, op), op
+
+    def test_long_uniform_run_crosses_refill_boundaries(self):
+        import random as stdlib_random
+
+        from repro.sim.rand import BufferedRandom
+
+        buffered = BufferedRandom(99)
+        plain = stdlib_random.Random(99)
+        draws = [(buffered.random(), plain.random()) for _ in range(5000)]
+        assert all(a == b for a, b in draws)
+        # The warm-up completed and the buffer engaged.
+        assert buffered._buf
+
+    def test_mixed_stream_goes_native_and_stays_identical(self):
+        import random as stdlib_random
+
+        from repro.sim.rand import BufferedRandom
+
+        buffered = BufferedRandom(7)
+        plain = stdlib_random.Random(7)
+        assert buffered.random() == plain.random()
+        assert buffered.getrandbits(32) == plain.getrandbits(32)
+        # First direct-core call before warm-up: the instance rebinds
+        # the C-level methods and never buffers.
+        assert "random" in buffered.__dict__
+        for _ in range(500):
+            assert buffered.random() == plain.random()
+        assert not buffered._buf
+        # Re-seeding restores the buffering wrapper.
+        buffered.seed(7)
+        assert "random" not in buffered.__dict__
+
+    def test_state_roundtrip_mid_buffer(self):
+        import random as stdlib_random
+
+        from repro.sim.rand import BufferedRandom
+
+        buffered = BufferedRandom(3)
+        plain = stdlib_random.Random(3)
+        for _ in range(300):  # past warm-up, buffer engaged
+            assert buffered.random() == plain.random()
+        state = buffered.getstate()
+        expected = [plain.random() for _ in range(10)]
+        assert [buffered.random() for _ in range(10)] == expected
+        buffered.setstate(state)
+        assert [buffered.random() for _ in range(10)] == expected
