@@ -83,6 +83,8 @@ def _config_key(config):
         config.probe_cost,
         config.telemetry,
         _stable(config.fault_plan),
+        config.num_shards,
+        _stable(config.topology),
     )
 
 

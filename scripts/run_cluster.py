@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Run a sharded cluster experiment and report the distributed picture.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_cluster.py --shards 4
+    PYTHONPATH=src python scripts/run_cluster.py --shards 4 \\
+        --remote-payment 0.15 --router range --check-determinism
+    PYTHONPATH=src python scripts/run_cluster.py --shards 2 \\
+        --engine postgres --plan net-delay --out events.jsonl
+
+Prints the single-home/cross-shard split, coordinator wait statistics
+(``dist_prepare_wait`` / ``dist_commit_wait``), per-node commit counts,
+per-reason abort totals and the latency summary, plus a content digest
+of the full metrics snapshot.  ``--check-determinism`` runs the same
+configuration twice and fails unless the digests match byte-for-byte.
+"""
+
+import argparse
+import hashlib
+import json
+import sys
+
+from repro.bench.runner import ExperimentConfig, run_experiment
+from repro.cluster import Topology
+from repro.faults import NAMED_PLANS, named_plan
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        description="Run one deterministic sharded-cluster experiment."
+    )
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--engine", default="mysql",
+                        choices=["mysql", "postgres"])
+    parser.add_argument("--router", default="hash", choices=["hash", "range"])
+    parser.add_argument("--warehouses", type=int, default=16)
+    parser.add_argument("--remote-payment", type=float, default=0.15,
+                        help="fraction of Payments homed at a remote "
+                             "warehouse (cross-shard writes)")
+    parser.add_argument("--remote-stock", type=float, default=0.01,
+                        help="per-order-line probability of a remote "
+                             "supplying warehouse in NewOrder")
+    parser.add_argument("--n-txns", type=int, default=600)
+    parser.add_argument("--rate-tps", type=float, default=200.0)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--plan", choices=sorted(NAMED_PLANS),
+                        help="optional named fault plan from repro.faults")
+    parser.add_argument("--check-determinism", action="store_true",
+                        help="run twice; fail unless digests match")
+    parser.add_argument("--out", metavar="FILE",
+                        help="write the telemetry event log (JSONL) here")
+    return parser
+
+
+def build_config(args):
+    workload_kwargs = {
+        "warehouses": args.warehouses,
+        "remote_payment_prob": args.remote_payment,
+        "remote_warehouse_prob": args.remote_stock,
+    }
+    if args.engine == "postgres":
+        workload_kwargs.update(
+            {"warehouse_zipf_theta": None, "item_zipf_theta": None}
+        )
+    return ExperimentConfig(
+        engine=args.engine,
+        workload="tpcc",
+        workload_kwargs=workload_kwargs,
+        seed=args.seed,
+        n_txns=args.n_txns,
+        rate_tps=args.rate_tps,
+        warmup_fraction=0.0,
+        num_shards=args.shards,
+        topology=Topology(router=args.router),
+        fault_plan=None if args.plan is None else named_plan(args.plan),
+    )
+
+
+def run_digest(result):
+    """Content digest of the run: full metrics snapshot + latency vector."""
+    payload = json.dumps(
+        [result.metrics_snapshot(), result.latencies, result.sim.now],
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    config = build_config(args)
+    result = run_experiment(config)
+    cluster = result.engine
+
+    print("engine=%s shards=%d router=%s seed=%d n_txns=%d plan=%s"
+          % (args.engine, args.shards, args.router, args.seed,
+             args.n_txns, args.plan or "none"))
+    print("single_home=%d cross_shard=%d committed=%d failed=%d"
+          % (cluster.single_home_txns, cluster.cross_shard_txns,
+             len(result.log.committed), result.failed_txns))
+
+    hists = result.metrics_snapshot()["histograms"]
+    for name in ("cluster.prepare_wait", "cluster.commit_wait"):
+        stats = hists.get(name, {"count": 0})
+        if stats["count"]:
+            print("%s: count=%d mean=%.0fus p99=%.0fus"
+                  % (name, stats["count"], stats["mean"], stats["p99"]))
+        else:
+            print("%s: count=0" % (name,))
+    for node_id in range(args.shards):
+        node = result.node_metrics_snapshot(node_id)["counters"]
+        print("  node%d: committed=%d branches_committed=%d"
+              % (node_id,
+                 node.get("%s.txns_committed" % args.engine, 0),
+                 node.get("%s.branches_committed" % args.engine, 0)))
+    for label, counts in (("aborts", result.abort_counts),
+                          ("failed", result.failed_counts)):
+        for reason in sorted(counts):
+            print("  %s.%s=%d" % (label, reason, counts[reason]))
+    summary = result.summary
+    print("latency: mean=%.0fus p99=%.0fus variance=%.3g"
+          % (summary.mean, summary.p99, summary.variance))
+    digest = run_digest(result)
+    print("digest=%s" % (digest,))
+
+    if args.out:
+        jsonl = result.event_log_jsonl()
+        with open(args.out, "w") as fh:
+            fh.write(jsonl)
+        print("wrote %d events to %s" % (len(jsonl.splitlines()), args.out))
+
+    if args.check_determinism:
+        second = run_digest(run_experiment(build_config(args)))
+        if second != digest:
+            print("DETERMINISM FAILURE: %s != %s" % (digest, second))
+            return 1
+        print("determinism check passed (two runs, identical digests)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

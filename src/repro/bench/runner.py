@@ -10,10 +10,18 @@ Methodology matches Section 7.1: constant offered throughput (500 tps
 default), a warmup fraction discarded from the front of the run (cold
 buffer pool, empty queues), and mean / variance / p99 computed over the
 remaining committed transactions.
+
+With ``num_shards > 1`` (or an explicit ``topology``) the runner builds
+a :class:`~repro.cluster.Cluster` instead of a bare engine: one full
+engine stack per shard (per-node seeded streams, ``node=<id>``-labeled
+telemetry), a simulated network, and a 2PC coordinator for cross-shard
+transactions.  ``num_shards=1`` with no topology never constructs any of
+that, so single-node runs stay byte-identical to the pre-cluster tree.
 """
 
 import gc
 
+from repro.cluster import Cluster, Node, Topology, make_router
 from repro.core.annotations import TransactionLog
 from repro.core.tracing import Tracer
 from repro.faults.injector import NO_FAULTS, FaultInjector
@@ -21,9 +29,10 @@ from repro.engines.mysql import MySQLConfig, MySQLEngine, mysql_callgraph
 from repro.engines.postgres import PostgresConfig, PostgresEngine, postgres_callgraph
 from repro.engines.voltdb import VoltDBConfig, VoltDBEngine, voltdb_callgraph
 from repro.sim.kernel import Simulator
+from repro.sim.network import Network
 from repro.sim.rand import Streams
 from repro.sim.stats import summarize
-from repro.telemetry import NULL_REGISTRY, MetricsRegistry
+from repro.telemetry import NULL_REGISTRY, MetricsRegistry, split_label
 from repro.workloads import make_workload
 from repro.workloads.driver import LoadDriver
 
@@ -56,9 +65,13 @@ class ExperimentConfig:
         probe_cost=0.0,
         telemetry=True,
         fault_plan=None,
+        num_shards=1,
+        topology=None,
     ):
         if engine not in _ENGINES:
             raise ValueError("unknown engine %r" % (engine,))
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1, got %r" % (num_shards,))
         self.engine = engine
         self.workload = workload
         self.workload_kwargs = dict(workload_kwargs or {})
@@ -77,6 +90,14 @@ class ExperimentConfig:
         # configured) wires the NO_FAULTS null injector, which keeps the
         # run byte-identical to a build without the fault subsystem.
         self.fault_plan = fault_plan
+        # Cluster shape: num_shards=1 with no topology is the classic
+        # single-node run (no network, no router, no coordinator).
+        self.num_shards = num_shards
+        self.topology = topology
+
+    @property
+    def is_clustered(self):
+        return self.num_shards > 1 or self.topology is not None
 
     def replaced(self, **overrides):
         """A copy of this config with fields replaced."""
@@ -93,6 +114,8 @@ class ExperimentConfig:
             "probe_cost": self.probe_cost,
             "telemetry": self.telemetry,
             "fault_plan": self.fault_plan,
+            "num_shards": self.num_shards,
+            "topology": self.topology,
         }
         fields.update(overrides)
         return ExperimentConfig(**fields)
@@ -123,6 +146,67 @@ class RunResult:
     def event_log_jsonl(self):
         """The structured event log as JSON lines (empty when disabled)."""
         return self.metrics.events.to_jsonl()
+
+    def node_metrics_snapshot(self, node_id):
+        """One node's slice of the metrics, with the label stripped.
+
+        Clustered runs label every node-side instrument ``{node=<id>}``;
+        this filters the full snapshot down to one node and returns it
+        keyed by the bare instrument name, so per-node reports read
+        exactly like a single-node ``metrics_snapshot()``.
+        """
+        want = {"node": str(node_id)}
+        snap = self.metrics_snapshot()
+        out = {}
+        for section in ("counters", "gauges", "histograms"):
+            picked = {}
+            for name, value in snap.get(section, {}).items():
+                base, labels = split_label(name)
+                if labels == want:
+                    picked[base] = value
+            out[section] = picked
+        return out
+
+    def metrics_rollup(self):
+        """Cluster-wide totals: labeled instruments merged by base name.
+
+        Counters and gauge values/maxima sum across nodes; histograms
+        merge exactly for ``count``/``sum``/``mean``/``min``/``max``
+        (quantiles do not compose across sketches, so merged histograms
+        omit them).  Unlabeled instruments pass through untouched.
+        """
+        snap = self.metrics_snapshot()
+        counters = {}
+        for name, value in snap.get("counters", {}).items():
+            base, _labels = split_label(name)
+            counters[base] = counters.get(base, 0) + value
+        gauges = {}
+        for name, value in snap.get("gauges", {}).items():
+            base, _labels = split_label(name)
+            merged = gauges.setdefault(base, {"value": 0, "max": 0})
+            merged["value"] += value["value"]
+            merged["max"] += value["max"]
+        histograms = {}
+        for name, value in snap.get("histograms", {}).items():
+            base, _labels = split_label(name)
+            merged = histograms.get(base)
+            if merged is None:
+                histograms[base] = dict(value)
+                continue
+            count = merged.get("count", 0) + value.get("count", 0)
+            if not count:
+                continue
+            total = merged.get("sum", 0.0) + value.get("sum", 0.0)
+            mins = [v for v in (merged.get("min"), value.get("min")) if v is not None]
+            maxs = [v for v in (merged.get("max"), value.get("max")) if v is not None]
+            histograms[base] = {
+                "count": count,
+                "sum": total,
+                "mean": total / count,
+                "min": min(mins) if mins else None,
+                "max": max(maxs) if maxs else None,
+            }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
     @property
     def traces(self):
@@ -224,7 +308,12 @@ def run_experiment(config, simulator_cls=None):
         probe_cost=config.probe_cost,
         log=log,
     )
-    engine = engine_cls(sim, tracer, workload, streams, config=config.engine_config)
+    if config.is_clustered:
+        engine = _build_cluster(config, sim, tracer, workload, streams, engine_cls)
+    else:
+        engine = engine_cls(
+            sim, tracer, workload, streams, config=config.engine_config
+        )
     driver = LoadDriver(
         sim,
         engine,
@@ -248,3 +337,37 @@ def run_experiment(config, simulator_cls=None):
             gc.enable()
     warmup_count = int(config.n_txns * config.warmup_fraction)
     return RunResult(config, log, engine, sim, warmup_count)
+
+
+def _build_cluster(config, sim, tracer, workload, streams, engine_cls):
+    """Assemble nodes + network + router + coordinator for a sharded run."""
+    if not engine_cls.supports_branches:
+        raise ValueError(
+            "engine %r does not support 2PC participant branches; "
+            "it cannot host a multi-shard cluster" % (config.engine,)
+        )
+    topology = config.topology or Topology()
+    network = Network(
+        sim, streams.stream("cluster.network"), config=topology.network
+    )
+    router = make_router(
+        topology.router,
+        config.num_shards,
+        num_homes=getattr(workload, "warehouses", None),
+    )
+    nodes = [
+        Node(
+            node_id,
+            sim,
+            streams,
+            lambda node_sim, node_streams: engine_cls(
+                node_sim,
+                tracer,
+                workload,
+                node_streams,
+                config=config.engine_config,
+            ),
+        )
+        for node_id in range(config.num_shards)
+    ]
+    return Cluster(sim, tracer, nodes, network, router, streams, topology)

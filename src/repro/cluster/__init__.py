@@ -1,0 +1,39 @@
+"""The cluster layer: Nodes, a Router, and a 2PC coordinator.
+
+The paper's method — build the variance tree top-down, find the dominant
+factor, fix it — is engine-agnostic, but everything below this package
+models *one* node.  Here "a database" becomes a :class:`Node` (one full
+engine stack with per-node seeded streams and ``node=<id>``-labeled
+telemetry) and an experiment runs on a :class:`Cluster` of them joined
+by the simulated network (:mod:`repro.sim.network`):
+
+- :class:`HashRouter` / :class:`RangeRouter` map each operation's
+  ``home`` (a TPC-C warehouse) to a shard and split a transaction into
+  per-shard branches.
+- Single-home transactions take the **fast path**: one request hop, then
+  the home node's engine runs them exactly as a single-node run would.
+- Cross-shard transactions run **two-phase commit**: branches execute
+  holding locks, force a prepare record, vote; the coordinator logs the
+  decision and fans it out; participants seal and release.  The two
+  coordinator waits are traced frames — ``dist_prepare_wait`` and
+  ``dist_commit_wait`` — so the variance tree attributes distributed
+  commit latency the same way it attributes lock waits or ``fil_flush``.
+
+With ``num_shards=1`` and no topology the runner never constructs any of
+this, so every single-node configuration is byte-identical to the
+pre-cluster tree (pinned by ``tests/test_equivalence_goldens.py``).
+"""
+
+from repro.cluster.node import Node, NodeSim
+from repro.cluster.router import HashRouter, RangeRouter, make_router
+from repro.cluster.coordinator import Cluster, Topology
+
+__all__ = [
+    "Cluster",
+    "HashRouter",
+    "Node",
+    "NodeSim",
+    "RangeRouter",
+    "Topology",
+    "make_router",
+]

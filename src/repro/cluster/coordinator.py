@@ -1,0 +1,406 @@
+"""The cluster facade and its two-phase-commit coordinator.
+
+:class:`Cluster` speaks the driver protocol (``submit`` / ``drain``),
+so :class:`~repro.workloads.driver.LoadDriver` routes through it exactly
+as it would through a single engine.  Per transaction:
+
+- **Single-home fast path**: one request hop over the network, then the
+  home node's engine owns the whole lifecycle (begin/trace/retry/
+  observe), identical to a single-node run of that engine.
+- **Cross-shard 2PC**: the coordinator builds one
+  :class:`~repro.engines.base.Branch` per touched shard and runs
+
+  1. *prepare*: request hop → branch enqueued on the node → the worker
+     executes the slice holding locks, forces a prepare record, votes →
+     vote hop back.  The coordinator's wall time across all votes is the
+     traced frame ``dist_prepare_wait``.
+  2. *decision*: a forced record on the coordinator's own log (the
+     classic 2PC decision point), decision hops out, participants seal
+     (commit record) and release, ack hops back — waited as
+     ``dist_commit_wait``.
+
+  Any no vote (deadlock, lock-wait timeout, shed, worker crash) aborts
+  the round globally; voted-yes participants roll back via the decision
+  and the whole transaction retries under the coordinator's
+  :class:`~repro.faults.RetryPolicy`, mirroring the engines' local
+  retry discipline.
+
+Both ``dist_*`` frames are recorded through ``tracer.record`` with the
+coordinator's global transaction context, so the variance tree ranks
+distributed waits against ``os_event_wait``, ``fil_flush`` and friends
+with no new analysis machinery.  Branch-local traced durations (lock
+waits inside a participant, its prepare flush) are folded back into the
+global trace after each round.
+"""
+
+from repro.core.annotations import TransactionContext
+from repro.engines.base import Branch
+from repro.faults.retry import RetryPolicy
+from repro.sim.disk import Disk, DiskConfig
+from repro.sim.kernel import WaitEvent
+from repro.sim.network import NetworkConfig
+from repro.workloads.base import TxnSpec
+
+#: The traced factor names the coordinator records; the cluster adds
+#: them to the tracer's instrumented set (they appear in no engine call
+#: graph, so this cannot perturb engine tracing).
+DIST_FRAMES = ("dist_prepare_wait", "dist_commit_wait")
+
+
+class Topology:
+    """Cluster shape + message and 2PC cost knobs (pure configuration)."""
+
+    def __init__(
+        self,
+        router="hash",
+        network=None,
+        request_bytes=256,
+        vote_bytes=64,
+        decision_bytes=64,
+        ack_bytes=64,
+        decision_log=True,
+        coord_log_disk=None,
+        max_attempts=12,
+        backoff_range=(500.0, 2000.0),
+    ):
+        self.router = router
+        self.network = network or NetworkConfig()
+        self.request_bytes = request_bytes
+        self.vote_bytes = vote_bytes
+        self.decision_bytes = decision_bytes
+        self.ack_bytes = ack_bytes
+        # The coordinator's forced decision record; disable to model an
+        # in-memory (presumed-nothing) coordinator.
+        self.decision_log = decision_log
+        self.coord_log_disk = coord_log_disk or DiskConfig.battery_backed()
+        self.max_attempts = max_attempts
+        self.backoff_range = backoff_range
+
+    def __repr__(self):
+        return "<Topology router=%s decision_log=%r>" % (
+            self.router,
+            self.decision_log,
+        )
+
+
+class Cluster:
+    """N nodes + network + router behind the engine/driver protocol."""
+
+    name = "cluster"
+    #: The coordinator's network identity (it is not a shard).
+    COORD = -1
+
+    def __init__(self, sim, tracer, nodes, network, router, streams, topology):
+        self.sim = sim
+        self.tracer = tracer
+        self.nodes = nodes
+        self.network = network
+        self.router = router
+        self.streams = streams
+        self.topology = topology
+        self.telemetry = sim.telemetry
+        self.retry_policy = RetryPolicy(
+            max_attempts=topology.max_attempts,
+            base_backoff=topology.backoff_range[0],
+            max_backoff=topology.backoff_range[1],
+        )
+        self.retry_rng = streams.stream("cluster.retry")
+        if topology.decision_log:
+            self.coord_disk = Disk(
+                sim,
+                streams.stream("cluster.coord_log"),
+                topology.coord_log_disk,
+                "coord_log",
+            )
+        else:
+            self.coord_disk = None
+        # Distributed waits must be attributable without the caller
+        # remembering to instrument them.
+        tracer.instrumented.update(DIST_FRAMES)
+        self._draining = False
+        self._inflight = 0
+        self._idle = None
+        # Coordinator-level give-ups (cross-shard transactions that
+        # exhausted their retries); per-attempt aborts are counted on the
+        # participant nodes, so the merged views below never double count.
+        self.coord_failed_by_reason = {}
+        self.single_home_txns = 0
+        self.cross_shard_txns = 0
+        tm = self.telemetry
+        self._t_committed = tm.counter("cluster.txns_committed")
+        self._t_failed = tm.counter("cluster.txns_failed")
+        self._t_retries = tm.counter("cluster.txn_retries")
+        self._t_single_home = tm.counter("cluster.single_home_txns")
+        self._t_cross_shard = tm.counter("cluster.cross_shard_txns")
+        self._t_prepare_wait = tm.histogram("cluster.prepare_wait")
+        self._t_commit_wait = tm.histogram("cluster.commit_wait")
+
+    # ------------------------------------------------------------------
+    # Driver protocol
+    # ------------------------------------------------------------------
+
+    def submit(self, ctx, spec):
+        """Route one transaction; always accepted at the cluster edge.
+
+        Shedding happens at the node engines (their bounded queues), so
+        an overloaded shard degrades exactly as an overloaded single-node
+        run does.
+        """
+        if self._draining:
+            raise RuntimeError("submit after drain on cluster")
+        groups = self.router.split(spec)
+        self._inflight += 1
+        if len(groups) == 1:
+            shard = next(iter(groups))
+            self.single_home_txns += 1
+            self._t_single_home.inc()
+            self.sim.spawn(
+                self._single_home(ctx, spec, self.nodes[shard]),
+                name="coord.txn%s" % (ctx.txn_id,),
+            )
+        else:
+            self.cross_shard_txns += 1
+            self._t_cross_shard.inc()
+            self.sim.spawn(
+                self._coordinate(ctx, groups),
+                name="coord.txn%s" % (ctx.txn_id,),
+            )
+        return True
+
+    def drain(self):
+        """No more submissions; nodes drain once 2PC traffic quiesces.
+
+        Coordinators submit branches (and retried rounds) after the last
+        client arrival, so node queues can only be sealed once every
+        in-flight coordinator has finished.
+        """
+        self._draining = True
+        self.sim.spawn(self._drain_when_idle(), name="cluster.drain")
+
+    @property
+    def queue_depth(self):
+        return sum(node.engine.queue_depth for node in self.nodes)
+
+    def _drain_when_idle(self):
+        while self._inflight > 0:
+            self._idle = self.sim.event()
+            yield WaitEvent(self._idle)
+        for node in self.nodes:
+            node.engine.drain()
+
+    def _txn_done(self):
+        self._inflight -= 1
+        if self._inflight == 0 and self._idle is not None:
+            idle, self._idle = self._idle, None
+            idle.fire()
+
+    # ------------------------------------------------------------------
+    # Single-home fast path
+    # ------------------------------------------------------------------
+
+    def _single_home(self, ctx, spec, node):
+        try:
+            yield from self.network.send(
+                self.COORD, node.node_id, self.topology.request_bytes
+            )
+            node.engine.submit(ctx, spec)
+        finally:
+            self._txn_done()
+
+    # ------------------------------------------------------------------
+    # Two-phase commit
+    # ------------------------------------------------------------------
+
+    def _coordinate(self, ctx, groups):
+        try:
+            tracer = self.tracer
+            policy = self.retry_policy
+            tracer.begin_transaction(ctx)
+            committed = False
+            reason = None
+            for attempt in range(policy.max_attempts):
+                if attempt:
+                    ctx.attempts += 1
+                    self._t_retries.inc()
+                    policy.note_retry(reason or "abort")
+                    yield policy.backoff(attempt, self.retry_rng)
+                ctx.abort_reason = None
+                ok, reason = yield from self._attempt_2pc(ctx, groups)
+                if ok:
+                    committed = True
+                    break
+            if not committed:
+                final = reason or "abort"
+                ctx.abort_reason = final
+                policy.note_give_up(final)
+                self.coord_failed_by_reason[final] = (
+                    self.coord_failed_by_reason.get(final, 0) + 1
+                )
+                self.telemetry.counter("cluster.failed.%s" % (final,)).inc()
+            tracer.end_transaction(ctx, committed)
+            self.observe_txn(ctx, committed)
+        finally:
+            self._txn_done()
+
+    def _attempt_2pc(self, ctx, groups):
+        """Generator: one 2PC round.  Evaluates to (committed, reason)."""
+        sim = self.sim
+        topology = self.topology
+        branches = [
+            Branch(
+                TransactionContext(sim, "%s/n%d" % (ctx.txn_id, shard), ctx.txn_type),
+                TxnSpec(ctx.txn_type, ops),
+                shard,
+                sim,
+            )
+            for shard, ops in groups.items()
+        ]
+        # Phase 1 — prepare: one courier per branch carries the request
+        # out and the vote back; the couriers overlap, the coordinator
+        # pays the slowest.
+        arrivals = []
+        for branch in branches:
+            arrived = sim.event()
+            sim.spawn(
+                self._prepare_branch(branch, arrived),
+                name="coord.prep.%s" % (branch.ctx.txn_id,),
+            )
+            arrivals.append(arrived)
+        started = sim.now
+        for arrived in arrivals:
+            yield WaitEvent(arrived)
+        prepare_wait = sim.now - started
+        self._t_prepare_wait.observe(prepare_wait)
+        self.tracer.record(ctx, "dist_prepare_wait", prepare_wait, site="cluster")
+        commit = all(branch.vote for branch in branches)
+        # The decision point: force the outcome to the coordinator log
+        # before telling anyone (presumed-nothing 2PC).
+        if self.coord_disk is not None:
+            yield from self.coord_disk.write(topology.decision_bytes)
+            yield from self.coord_disk.flush()
+        # Phase 2 — decision: only voted-yes participants are parked on
+        # the decision event (no-voters already released and left).
+        started = sim.now
+        acks = []
+        for branch in branches:
+            if not branch.vote:
+                continue
+            acked = sim.event()
+            sim.spawn(
+                self._decide_branch(branch, commit, acked),
+                name="coord.decide.%s" % (branch.ctx.txn_id,),
+            )
+            acks.append(acked)
+        for acked in acks:
+            yield WaitEvent(acked)
+        if acks:
+            commit_wait = sim.now - started
+            self._t_commit_wait.observe(commit_wait)
+            self.tracer.record(ctx, "dist_commit_wait", commit_wait, site="cluster")
+        # Fold branch-local traced time (lock waits, prepare flushes)
+        # into the global trace so engine factors stay visible for
+        # cross-shard transactions.
+        for branch in branches:
+            self._merge_branch_trace(ctx, branch.ctx)
+        if commit:
+            return True, None
+        for branch in branches:
+            if branch.reason:
+                return False, branch.reason
+        return False, "abort"
+
+    def _prepare_branch(self, branch, arrived):
+        topology = self.topology
+        yield from self.network.send(
+            self.COORD, branch.node_id, topology.request_bytes
+        )
+        self.nodes[branch.node_id].engine.submit_branch(branch)
+        yield WaitEvent(branch.prepared)
+        yield from self.network.send(
+            branch.node_id, self.COORD, topology.vote_bytes
+        )
+        arrived.fire(branch.vote)
+
+    def _decide_branch(self, branch, commit, acked):
+        topology = self.topology
+        yield from self.network.send(
+            self.COORD, branch.node_id, topology.decision_bytes
+        )
+        branch.decision.fire(commit)
+        yield WaitEvent(branch.done)
+        yield from self.network.send(
+            branch.node_id, self.COORD, topology.ack_bytes
+        )
+        acked.fire()
+
+    @staticmethod
+    def _merge_branch_trace(ctx, branch_ctx):
+        if branch_ctx.durations:
+            durations = ctx.durations
+            for key, value in branch_ctx.durations.items():
+                durations[key] = durations.get(key, 0.0) + value
+        if branch_ctx.under:
+            under = ctx.under
+            for parent_key, children in branch_ctx.under.items():
+                per_child = under.setdefault(parent_key, {})
+                for child_key, value in children.items():
+                    per_child[child_key] = per_child.get(child_key, 0.0) + value
+
+    # ------------------------------------------------------------------
+    # Accounting (RunResult protocol)
+    # ------------------------------------------------------------------
+
+    def observe_txn(self, ctx, committed):
+        tm = self.telemetry
+        if committed:
+            self._t_committed.inc()
+            if tm.enabled:
+                tm.histogram("cluster.latency.%s" % (ctx.txn_type,)).observe(
+                    self.sim.now - ctx.birth
+                )
+        else:
+            self._t_failed.inc()
+            if tm.enabled:
+                tm.event(
+                    "cluster.txn_failed",
+                    txn=ctx.txn_id,
+                    txn_type=ctx.txn_type,
+                    attempts=ctx.attempts,
+                    reason=ctx.abort_reason or "abort",
+                )
+
+    @property
+    def aborts_by_reason(self):
+        """Per-attempt aborts across all nodes (branches included)."""
+        merged = {}
+        for node in self.nodes:
+            for reason, count in node.engine.aborts_by_reason.items():
+                merged[reason] = merged.get(reason, 0) + count
+        return merged
+
+    @property
+    def failed_by_reason(self):
+        """Never-committed transactions: node-level + coordinator give-ups."""
+        merged = dict(self.coord_failed_by_reason)
+        for node in self.nodes:
+            for reason, count in node.engine.failed_by_reason.items():
+                merged[reason] = merged.get(reason, 0) + count
+        return merged
+
+    @property
+    def aborts(self):
+        return sum(self.aborts_by_reason.values())
+
+    @property
+    def failed_txns(self):
+        return sum(self.failed_by_reason.values())
+
+    @property
+    def worker_crashes(self):
+        return sum(node.engine.worker_crashes for node in self.nodes)
+
+    def __repr__(self):
+        return "<Cluster nodes=%d router=%s>" % (
+            len(self.nodes),
+            self.router.kind,
+        )

@@ -1,0 +1,65 @@
+"""One cluster node: a full engine stack behind a scoping proxy.
+
+Every subsystem in the tree (lock manager, buffer pool, disks, WAL,
+workers) reaches shared services through its ``sim`` reference:
+``sim.now`` / ``sim.spawn`` / ``sim.event`` for the kernel,
+``sim.telemetry`` for metrics, ``sim.faults`` for injection.  That one
+seam makes multi-node hosting a proxy, not a rewrite: a :class:`NodeSim`
+delegates kernel calls to the real simulator but presents a
+``node=<id>``-labeled telemetry view, and the node's engine is built
+with name-prefixed random streams (``node3/mysql.engine``), so N engines
+coexist in one simulator without sharing a single RNG draw or metric key
+— and without any engine code knowing clusters exist.
+
+Single-node runs never construct a NodeSim (the runner passes the bare
+simulator), so the pre-cluster fast paths and goldens are untouched.
+"""
+
+
+class NodeSim:
+    """A per-node view of the simulator: same clock, scoped telemetry."""
+
+    __slots__ = ("_sim", "node_id", "telemetry", "faults")
+
+    def __init__(self, sim, node_id, telemetry=None, faults=None):
+        self._sim = sim
+        self.node_id = node_id
+        self.telemetry = (
+            telemetry if telemetry is not None else sim.telemetry
+        )
+        self.faults = faults if faults is not None else sim.faults
+
+    @property
+    def now(self):
+        return self._sim.now
+
+    @property
+    def current(self):
+        return self._sim.current
+
+    def spawn(self, gen, name=None):
+        return self._sim.spawn(gen, name=name)
+
+    def event(self):
+        return self._sim.event()
+
+    def __repr__(self):
+        return "<NodeSim node=%r of %r>" % (self.node_id, self._sim)
+
+
+class Node:
+    """One shard: node id + scoped sim/streams + the engine they host."""
+
+    def __init__(self, node_id, sim, streams, make_engine):
+        self.node_id = node_id
+        self.sim = NodeSim(
+            sim,
+            node_id,
+            telemetry=sim.telemetry.labeled(node=node_id),
+            faults=sim.faults,
+        )
+        self.streams = streams.scoped("node%d/" % node_id)
+        self.engine = make_engine(self.sim, self.streams)
+
+    def __repr__(self):
+        return "<Node %d %s>" % (self.node_id, self.engine.name)

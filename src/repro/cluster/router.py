@@ -1,0 +1,101 @@
+"""Routing: map operation homes to shards, split transactions.
+
+An :class:`~repro.workloads.base.Operation` optionally carries a
+``home`` — the partition-key value it belongs to (a TPC-C warehouse id).
+A router maps homes to shard ids and splits one transaction spec into
+per-shard operation groups:
+
+- ops whose ``home`` is ``None`` (replicated read-mostly tables like
+  TPC-C's ``item``) execute on the transaction's *primary* shard — the
+  shard of the first homed operation — so they never force a
+  cross-shard transaction;
+- a spec whose ops all land on one shard is *single-home* (the fast
+  path); anything else becomes a 2PC round with one branch per shard.
+
+Both routers are pure functions of their constructor arguments — no RNG,
+no simulator — so routing is deterministic and free.
+"""
+
+
+class HashRouter:
+    """``home % num_shards`` — spreads adjacent homes across shards."""
+
+    kind = "hash"
+
+    def __init__(self, num_shards, num_homes=None):
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        self.num_shards = num_shards
+
+    def shard_of(self, home):
+        return home % self.num_shards
+
+    def split(self, spec):
+        """Split ``spec.ops`` into an ordered ``{shard: [ops]}`` map."""
+        return _split(self, spec)
+
+    def __repr__(self):
+        return "<HashRouter shards=%d>" % (self.num_shards,)
+
+
+class RangeRouter:
+    """Contiguous home ranges per shard — preserves locality of scans."""
+
+    kind = "range"
+
+    def __init__(self, num_shards, num_homes):
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if num_homes is None or num_homes < num_shards:
+            raise ValueError(
+                "range routing needs num_homes >= num_shards, got %r"
+                % (num_homes,)
+            )
+        self.num_shards = num_shards
+        self.num_homes = num_homes
+
+    def shard_of(self, home):
+        return min(self.num_shards - 1, home * self.num_shards // self.num_homes)
+
+    def split(self, spec):
+        return _split(self, spec)
+
+    def __repr__(self):
+        return "<RangeRouter shards=%d homes=%d>" % (
+            self.num_shards,
+            self.num_homes,
+        )
+
+
+def _split(router, spec):
+    """Shared splitter: primary-shard placement for home-less ops.
+
+    Ordered dict keyed by shard id (insertion order = first touch, which
+    is deterministic because specs are deterministic), values are the
+    op sublists in original statement order.
+    """
+    shard_of = router.shard_of
+    primary = None
+    for op in spec.ops:
+        if op.home is not None:
+            primary = shard_of(op.home)
+            break
+    if primary is None:
+        primary = 0  # fully replicated / home-less spec: any shard works
+    groups = {}
+    for op in spec.ops:
+        shard = primary if op.home is None else shard_of(op.home)
+        ops = groups.get(shard)
+        if ops is None:
+            groups[shard] = ops = []
+        ops.append(op)
+    return groups
+
+
+def make_router(kind, num_shards, num_homes=None):
+    """Build a router by name (``"hash"`` or ``"range"``)."""
+    if kind == "hash":
+        return HashRouter(num_shards, num_homes)
+    if kind == "range":
+        return RangeRouter(num_shards, num_homes)
+    raise ValueError("unknown router kind %r" % (kind,))

@@ -39,6 +39,7 @@ Robustness machinery shared by the lock-based engines:
 """
 
 from repro.faults.retry import RetryPolicy
+from repro.sim.kernel import WaitEvent
 from repro.sim.resources import WaitQueue
 
 #: Canonical abort/failure reasons; anything else an engine reports is
@@ -48,6 +49,56 @@ ABORT_REASONS = ("deadlock", "timeout", "shed", "deadline")
 
 class _Shutdown:
     """Queue sentinel telling a worker to exit."""
+
+
+class Branch:
+    """One shard's slice of a distributed transaction: a 2PC participant.
+
+    Built by the cluster coordinator (``repro.cluster``) and enqueued on
+    a node engine via :meth:`Engine.submit_branch`.  The dequeuing worker
+    executes the branch's statements under strict 2PL *without releasing
+    locks*, forces a prepare record, fires ``prepared`` with its vote,
+    then parks on ``decision`` — the worker is held for the 2PC round
+    trip, exactly as a thread-per-connection server's session thread is.
+    On the decision it writes the commit record (commit only), releases
+    everything, and fires ``done``.
+
+    ``ctx`` is the branch's own :class:`TransactionContext` (lock
+    ownership is per-context); the coordinator merges its traced
+    durations back into the global transaction's trace.
+    """
+
+    __slots__ = (
+        "ctx",
+        "spec",
+        "node_id",
+        "prepared",
+        "decision",
+        "done",
+        "vote",
+        "reason",
+        "redo_bytes",
+        "predicate_locks",
+    )
+
+    def __init__(self, ctx, spec, node_id, sim):
+        self.ctx = ctx
+        self.spec = spec
+        self.node_id = node_id
+        self.prepared = sim.event()
+        self.decision = sim.event()
+        self.done = sim.event()
+        self.vote = False
+        self.reason = None
+        self.redo_bytes = 0
+        self.predicate_locks = 0
+
+    def __repr__(self):
+        return "<Branch %r node=%r vote=%r>" % (
+            self.ctx.txn_id,
+            self.node_id,
+            self.vote,
+        )
 
 
 class Worker:
@@ -66,6 +117,9 @@ class Engine:
     """Base engine: submission queue + N workers running ``_execute``."""
 
     name = "abstract"
+    #: Engines that implement the ``_branch_*`` hooks can act as 2PC
+    #: participants in a cluster; task-concurrent engines (VoltDB) can't.
+    supports_branches = False
 
     def __init__(
         self,
@@ -127,6 +181,30 @@ class Engine:
         self._t_submit_depth.set(len(self.queue))
         return True
 
+    def submit_branch(self, branch):
+        """Enqueue one 2PC participant branch; False when shed.
+
+        A shed branch votes no immediately (its ``prepared`` event fires
+        with ``False``) so the coordinator aborts globally — the bounded
+        queue degrades a distributed transaction the same way it degrades
+        a local one: fast and explicit.
+        """
+        if self._draining:
+            raise RuntimeError("submit_branch after drain on %s" % (self.name,))
+        if (
+            self.max_queue_depth is not None
+            and len(self.queue) >= self.max_queue_depth
+        ):
+            branch.reason = "shed"
+            branch.ctx.abort_reason = "shed"
+            self._count_abort("shed")
+            self._t_shed.inc()
+            branch.prepared.fire(False)
+            return False
+        self.queue.put(branch)
+        self._t_submit_depth.set(len(self.queue))
+        return True
+
     def drain(self):
         """No more submissions; workers exit once the queue empties."""
         self._draining = True
@@ -155,6 +233,9 @@ class Engine:
             item = yield from self.queue.get()
             if item is _Shutdown:
                 return
+            if item.__class__ is Branch:
+                yield from self._run_branch(worker, item)
+                continue
             ctx, spec = item
             if faults.enabled:
                 restart = faults.worker_crash(self.name, worker.worker_id)
@@ -247,6 +328,83 @@ class Engine:
 
     def _attempt(self, worker, ctx, spec):
         """Generator: one attempt; True on commit (subclass hook)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # 2PC participant branches (cluster mode only)
+    # ------------------------------------------------------------------
+
+    def _run_branch(self, worker, branch):
+        """Generator: execute one participant branch through 2PC.
+
+        Statements run with locks held to the *global* decision, a
+        prepare record is forced before the yes vote, and the worker is
+        parked on the decision event for the whole round trip — holding
+        a session thread across prepare is what turns coordinator waits
+        into node-level queueing under cross-shard load.
+        """
+        ctx = branch.ctx
+        faults = self.faults
+        if faults.enabled:
+            restart = faults.worker_crash(self.name, worker.worker_id)
+            if restart is not None:
+                # Crash mid-prepare: the in-flight branch state is lost,
+                # so the participant votes no (the coordinator aborts
+                # globally and may retry) and the worker pays its restart
+                # delay before taking the next task.
+                self.worker_crashes += 1
+                worker.crashes += 1
+                worker.llu_backlog = []
+                branch.reason = "crash"
+                ctx.abort_reason = "crash"
+                self._count_abort("crash")
+                branch.prepared.fire(False)
+                yield restart
+                return
+        worker.txns_executed += 1
+        ctx.abort_reason = None
+        ok = yield from self._branch_execute(worker, ctx, branch)
+        if not ok:
+            reason = ctx.abort_reason or "abort"
+            branch.reason = reason
+            self._count_abort(reason)
+            yield from self._branch_release(ctx, branch)
+            branch.prepared.fire(False)
+            return
+        yield from self._branch_prepare(ctx, branch)
+        branch.vote = True
+        branch.prepared.fire(True)
+        yield WaitEvent(branch.decision)
+        commit = bool(branch.decision.value)
+        if commit:
+            yield from self._branch_commit(ctx, branch)
+            self.telemetry.counter(self.name + ".branches_committed").inc()
+        else:
+            branch.reason = branch.reason or "remote_abort"
+            self.telemetry.counter(self.name + ".branches_aborted").inc()
+        yield from self._branch_release(ctx, branch)
+        branch.done.fire(commit)
+
+    def _branch_execute(self, worker, ctx, branch):
+        """Generator: run the branch's statements, locks held at return.
+
+        True on success; on failure ``ctx.abort_reason`` names why.
+        Subclass hook — only engines with ``supports_branches`` have one.
+        """
+        raise NotImplementedError(
+            "%s cannot execute 2PC branches" % (self.name,)
+        )
+
+    def _branch_prepare(self, ctx, branch):
+        """Generator: force the participant's prepare record (hook)."""
+        raise NotImplementedError
+
+    def _branch_commit(self, ctx, branch):
+        """Generator: write the participant's commit record (hook)."""
+        raise NotImplementedError
+
+    def _branch_release(self, ctx, branch):
+        """Generator: release everything the branch holds (hook)."""
         raise NotImplementedError
 
     # ------------------------------------------------------------------

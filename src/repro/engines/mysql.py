@@ -138,6 +138,7 @@ class MySQLConfig:
 
 class MySQLEngine(Engine):
     name = "mysql"
+    supports_branches = True
 
     def __init__(self, sim, tracer, workload, streams, config=None):
         self.config = config or MySQLConfig()
@@ -566,3 +567,61 @@ class MySQLEngine(Engine):
         yield from self.tracer.traced(
             ctx, "trx_commit", self.redo.commit(ctx, redo_bytes)
         )
+
+    # ------------------------------------------------------------------
+    # 2PC participant branches (XA)
+    # ------------------------------------------------------------------
+
+    #: The XA prepare / commit record appended per participant round.
+    XA_RECORD_BYTES = 64
+
+    def _branch_execute(self, worker, ctx, branch):
+        """One participant slice: the statement bodies of
+        ``_mysql_execute``, minus commit and minus lock release — locks
+        stay held until the global decision arrives."""
+        redo_bytes = 0
+        consume = self.cpu.consume
+        sample = self._stmt_cpu_dist.sample
+        rng = self.rng
+        catalog = self.catalog
+        traced = self.tracer.traced
+        for op in branch.spec.ops:
+            yield from consume(sample(rng))
+            table = catalog[op.table]
+            if op.kind == "select":
+                ok = yield from traced(
+                    ctx, "row_search_for_mysql", self._row_search(worker, ctx, op, table)
+                )
+            elif op.kind == "update":
+                ok = yield from traced(
+                    ctx, "row_upd_step", self._row_update(worker, ctx, op, table)
+                )
+            else:
+                ok = yield from traced(
+                    ctx, "row_ins", self._row_insert(worker, ctx, op, table)
+                )
+            if not ok:
+                return False
+            redo_bytes += table.redo_bytes(op.kind)
+        branch.redo_bytes = redo_bytes
+        return True
+
+    def _branch_prepare(self, ctx, branch):
+        # XA PREPARE: the branch's redo plus a prepare record must be on
+        # stable storage before the yes vote leaves the node.
+        yield self.config.commit_cpu
+        if branch.redo_bytes:
+            yield from self.redo.commit(
+                ctx, branch.redo_bytes + self.XA_RECORD_BYTES
+            )
+
+    def _branch_commit(self, ctx, branch):
+        # XA COMMIT: the decision is sealed with a second forced record —
+        # the per-participant cost that makes distributed commit waits a
+        # first-order variance source.
+        yield self.config.commit_cpu
+        if branch.redo_bytes:
+            yield from self.redo.commit(ctx, self.XA_RECORD_BYTES)
+
+    def _branch_release(self, ctx, branch):
+        yield from self.lockmgr.release_all_timed(ctx)

@@ -104,6 +104,7 @@ class PostgresConfig:
 
 class PostgresEngine(Engine):
     name = "postgres"
+    supports_branches = True
 
     def __init__(self, sim, tracer, workload, streams, config=None):
         self.config = config or PostgresConfig()
@@ -264,3 +265,47 @@ class PostgresEngine(Engine):
         for _ in range(count):
             if self.rng.random() < self.config.predicate_conflict_prob:
                 yield self.config.predicate_conflict_cpu
+
+    # ------------------------------------------------------------------
+    # 2PC participant branches (PREPARE TRANSACTION)
+    # ------------------------------------------------------------------
+
+    #: The prepare / commit-prepared WAL record per participant round.
+    TWOPHASE_RECORD_BYTES = 64
+
+    def _branch_execute(self, worker, ctx, branch):
+        """One participant slice: ``_portal_run``'s statement loop minus
+        commit and minus lock release."""
+        predicate_locks = 0
+        redo_bytes = 0
+        for op in branch.spec.ops:
+            table = self.catalog[op.table]
+            ok, locks = yield from self.tracer.traced(
+                ctx, "ExecutorRun", self._executor_run(ctx, op, table)
+            )
+            if not ok:
+                return False
+            predicate_locks += locks
+            redo_bytes += table.redo_bytes(op.kind)
+        branch.redo_bytes = redo_bytes
+        branch.predicate_locks = predicate_locks
+        return True
+
+    def _branch_prepare(self, ctx, branch):
+        # PREPARE TRANSACTION: flush the branch's WAL plus the two-phase
+        # state record before voting yes.
+        yield self.config.commit_cpu
+        if branch.redo_bytes:
+            yield from self.wal.commit(
+                ctx, branch.redo_bytes + self.TWOPHASE_RECORD_BYTES
+            )
+
+    def _branch_commit(self, ctx, branch):
+        # COMMIT PREPARED: a second forced record seals the decision.
+        yield self.config.commit_cpu
+        if branch.redo_bytes:
+            yield from self.wal.commit(ctx, self.TWOPHASE_RECORD_BYTES)
+
+    def _branch_release(self, ctx, branch):
+        yield from self._release_predicate_locks(branch.predicate_locks)
+        self.lockmgr.release_all(ctx)

@@ -3,7 +3,8 @@
 The paper's testbed held faults constant to isolate the scheduling,
 buffer and logging variance sources; production systems add fault-driven
 variance on top — fsync brownouts, transient I/O errors, worker crashes,
-overload.  This package injects those *controllably*: every fault comes
+overload, and (once a cluster is involved) network delay and partitions.
+This package injects those *controllably*: every fault comes
 from a declarative :class:`FaultPlan` executed by a :class:`FaultInjector`
 that draws only from its own seeded streams, so a chaos run is as
 reproducible as a clean one and fault-driven variance can be attributed

@@ -141,6 +141,42 @@ class FaultInjector:
         return delay
 
     # ------------------------------------------------------------------
+    # Network faults (sim/network.py)
+    # ------------------------------------------------------------------
+
+    def net_latency_factor(self, now):
+        """Propagation-latency multiplier at ``now`` (> 1 during delay)."""
+        plan = self.plan
+        if not plan.net_delay_windows:
+            return 1.0
+        index = in_window(plan.net_delay_windows, now)
+        if index is None:
+            return 1.0
+        start, duration = plan.net_delay_windows[index]
+        self._announce("net_delay", index, start, duration)
+        return plan.net_delay_factor
+
+    def net_partition_until(self, src, dst, now):
+        """Heal time if the ``src -> dst`` link is cut at ``now``, else None.
+
+        Messages are held, not dropped: the network delivers them once the
+        window closes, so a partitioned 2PC decision stalls deterministically
+        instead of forking.
+        """
+        plan = self.plan
+        if not plan.partition_windows:
+            return None
+        index = in_window(plan.partition_windows, now)
+        if index is None:
+            return None
+        links = plan.partition_links
+        if "*" not in links and (src, dst) not in links:
+            return None
+        start, duration = plan.partition_windows[index]
+        self._announce("partition", index, start, duration)
+        return start + duration
+
+    # ------------------------------------------------------------------
     # Driver faults (workloads/driver.py)
     # ------------------------------------------------------------------
 
@@ -189,6 +225,12 @@ class NullFaultInjector:
         return timeout
 
     def worker_crash(self, engine_name, worker_id):
+        return None
+
+    def net_latency_factor(self, now):
+        return 1.0
+
+    def net_partition_until(self, src, dst, now):
         return None
 
     def arrival_rate_factor(self, now):

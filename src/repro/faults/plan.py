@@ -20,6 +20,16 @@ fault classes, each injected at a different layer of the stack:
 - **Arrival bursts** (``workloads/driver.py``): during a window the open
   loop compresses interarrival gaps by ``burst_rate_factor`` — the
   overload regime that exercises load shedding and deadlines.
+- **Network delay** (``sim/network.py``): during a window every message's
+  propagation latency is multiplied by ``net_delay_factor`` — the
+  congested-fabric / failing-NIC regime that stretches the cluster's 2PC
+  prepare and commit waits.
+- **Network partitions** (``sim/network.py``): messages submitted on an
+  affected link during a partition window are held and delivered when
+  the window heals (plus normal latency) — deterministic, no drops, so
+  2PC decisions stall rather than diverge.  ``partition_links`` limits
+  the cut to specific ``(src, dst)`` node pairs; the default ``("*",)``
+  severs every cross-node link.
 
 Windows are ``(start, duration)`` pairs in virtual microseconds.  Windows
 and probability-zero faults cost *nothing* when inactive: window checks
@@ -96,6 +106,11 @@ class FaultPlan:
         # -- arrival bursts -------------------------------------------
         burst_windows=(),
         burst_rate_factor=3.0,
+        # -- network delay / partitions (sim/network.py) --------------
+        net_delay_windows=(),
+        net_delay_factor=6.0,
+        partition_windows=(),
+        partition_links=("*",),
     ):
         self.name = str(name)
         self.brownout_windows = _check_windows("brownout_windows", brownout_windows)
@@ -128,6 +143,23 @@ class FaultPlan:
         self.burst_rate_factor = float(burst_rate_factor)
         if not math.isfinite(self.burst_rate_factor) or self.burst_rate_factor < 1.0:
             raise ValueError("burst_rate_factor must be finite and >= 1")
+        self.net_delay_windows = _check_windows("net_delay_windows", net_delay_windows)
+        self.net_delay_factor = float(net_delay_factor)
+        if not math.isfinite(self.net_delay_factor) or self.net_delay_factor < 1.0:
+            raise ValueError("net_delay_factor must be finite and >= 1")
+        self.partition_windows = _check_windows("partition_windows", partition_windows)
+        links = tuple(partition_links)
+        for link in links:
+            if link == "*":
+                continue
+            try:
+                src, dst = link
+            except (TypeError, ValueError):
+                raise ValueError(
+                    "partition_links entries must be (src, dst) node pairs "
+                    'or "*", got %r' % (link,)
+                )
+        self.partition_links = links
 
     @property
     def enabled(self):
@@ -138,6 +170,8 @@ class FaultPlan:
             or self.crash_prob > 0.0
             or self.lock_storm_windows
             or self.burst_windows
+            or self.net_delay_windows
+            or self.partition_windows
         )
 
     def __repr__(self):
@@ -214,6 +248,25 @@ def _plan_full_chaos(**kw):
     return FaultPlan(**base)
 
 
+def _plan_net_delay(**kw):
+    base = dict(
+        name="net-delay",
+        net_delay_windows=((300_000.0, 300_000.0),),
+        net_delay_factor=6.0,
+    )
+    base.update(kw)
+    return FaultPlan(**base)
+
+
+def _plan_net_partition(**kw):
+    base = dict(
+        name="net-partition",
+        partition_windows=((400_000.0, 200_000.0),),
+    )
+    base.update(kw)
+    return FaultPlan(**base)
+
+
 NAMED_PLANS = {
     "log-brownout": _plan_log_brownout,
     "io-errors": _plan_io_errors,
@@ -221,6 +274,8 @@ NAMED_PLANS = {
     "lock-storm": _plan_lock_storm,
     "arrival-burst": _plan_arrival_burst,
     "full-chaos": _plan_full_chaos,
+    "net-delay": _plan_net_delay,
+    "net-partition": _plan_net_partition,
 }
 
 

@@ -218,6 +218,39 @@ class Streams:
             self._streams[name] = rng
         return rng
 
+    def scoped(self, prefix):
+        """A view whose stream names are prefixed with ``prefix``.
+
+        The cluster layer hands each node ``streams.scoped("node3/")``
+        so two engines asking for ``"mysql.engine"`` get *independent*
+        streams (``node3/mysql.engine`` vs ``node0/mysql.engine``)
+        without any engine code knowing about nodes.  Scopes nest.
+        """
+        return ScopedStreams(self, prefix)
+
+
+class ScopedStreams:
+    """A name-prefixing view over a :class:`Streams` family."""
+
+    __slots__ = ("_base", "_prefix")
+
+    def __init__(self, base, prefix):
+        self._base = base
+        self._prefix = prefix
+
+    @property
+    def seed(self):
+        return self._base.seed
+
+    def stream(self, name):
+        return self._base.stream(self._prefix + name)
+
+    def scoped(self, prefix):
+        return ScopedStreams(self._base, self._prefix + prefix)
+
+    def __repr__(self):
+        return "<ScopedStreams %r of %r>" % (self._prefix, self._base)
+
 
 #: ``random.NV_MAGICCONST`` — the Kinderman-Monahan rejection constant,
 #: reproduced here so :class:`LogNormal` can inline the stdlib draw loop.

@@ -17,9 +17,11 @@ from repro.telemetry.registry import (
     Counter,
     Gauge,
     Histogram,
+    LabeledRegistry,
     MetricsRegistry,
     NullRegistry,
     NULL_REGISTRY,
+    split_label,
 )
 from repro.telemetry.sketch import GKSketch
 
@@ -29,8 +31,10 @@ __all__ = [
     "GKSketch",
     "Gauge",
     "Histogram",
+    "LabeledRegistry",
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",
     "TelemetryEvent",
+    "split_label",
 ]

@@ -212,6 +212,19 @@ class MetricsRegistry:
         """Record a structured event stamped with the virtual clock."""
         self.events.emit(self.now(), kind, fields)
 
+    def labeled(self, **labels):
+        """A view of this registry that tags instrument names with labels.
+
+        ``registry.labeled(node=3).counter("mysql.txns_committed")`` is
+        the shared instrument named ``mysql.txns_committed{node=3}`` —
+        one flat namespace, so a cluster of engines writes through
+        per-node views into a single registry and the snapshot format
+        stays plain string-keyed dicts.  Code that never calls
+        ``labeled`` (every single-node run) produces byte-identical
+        unlabeled snapshots.
+        """
+        return LabeledRegistry(self, labels)
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
@@ -245,6 +258,81 @@ class MetricsRegistry:
         )
 
 
+def split_label(name):
+    """Split ``"base{k=v,...}"`` into ``(base, labels_dict)``.
+
+    Names without a label suffix return ``(name, {})``.  The inverse of
+    the naming scheme :meth:`MetricsRegistry.labeled` applies.
+    """
+    if name.endswith("}"):
+        base, brace, rest = name.partition("{")
+        if brace:
+            labels = {}
+            for pair in rest[:-1].split(","):
+                key, _, value = pair.partition("=")
+                labels[key] = value
+            return base, labels
+    return name, {}
+
+
+class LabeledRegistry:
+    """A label-scoped view of a :class:`MetricsRegistry` (see ``labeled``).
+
+    Instruments live in the base registry under ``name{k=v}`` keys;
+    events gain the labels as extra fields.  The view is cheap enough to
+    mint per node at cluster construction and is itself further
+    labelable.
+    """
+
+    __slots__ = ("_base", "labels", "_suffix", "enabled")
+
+    def __init__(self, base, labels):
+        if not labels:
+            raise ValueError("labeled() needs at least one label")
+        self._base = base
+        self.labels = dict(labels)
+        self._suffix = "{%s}" % ",".join(
+            "%s=%s" % (key, value) for key, value in sorted(self.labels.items())
+        )
+        self.enabled = base.enabled
+
+    @property
+    def events(self):
+        return self._base.events
+
+    def bind_clock(self, clock):
+        self._base.bind_clock(clock)
+
+    def now(self):
+        return self._base.now()
+
+    def counter(self, name):
+        return self._base.counter(name + self._suffix)
+
+    def gauge(self, name):
+        return self._base.gauge(name + self._suffix)
+
+    def histogram(self, name, epsilon=None):
+        return self._base.histogram(name + self._suffix, epsilon)
+
+    def event(self, kind, **fields):
+        merged = dict(self.labels)
+        merged.update(fields)
+        self._base.event(kind, **merged)
+
+    def labeled(self, **labels):
+        merged = dict(self.labels)
+        merged.update(labels)
+        return LabeledRegistry(self._base, merged)
+
+    def snapshot(self):
+        """The *base* registry's snapshot (labels are just key suffixes)."""
+        return self._base.snapshot()
+
+    def __repr__(self):
+        return "<LabeledRegistry %s of %r>" % (self._suffix, self._base)
+
+
 class NullRegistry:
     """The disabled registry: every instrument is a shared no-op.
 
@@ -275,6 +363,9 @@ class NullRegistry:
 
     def event(self, kind, **fields):
         pass
+
+    def labeled(self, **labels):
+        return self
 
     def snapshot(self):
         return {}

@@ -16,6 +16,12 @@ it:
 A :class:`TxnSpec` is the ordered operation list of one transaction plus
 its type name.  A :class:`Workload` owns the schema (``{table: rows}``)
 and the weighted transaction mix, and mints specs from a seeded RNG.
+
+Operations optionally carry a ``home`` — the partition-key value (a
+TPC-C warehouse id) the row lives under.  Single-node runs ignore it;
+the cluster router (:mod:`repro.cluster.router`) uses it to split a
+spec into per-shard branches.  ``home=None`` marks rows on replicated
+read-mostly tables (TPC-C's ``item``) that any shard can serve.
 """
 
 import itertools
@@ -24,11 +30,11 @@ import itertools
 class Operation:
     """One statement: kind, table, key, and the lock it takes (if any)."""
 
-    __slots__ = ("kind", "table", "key", "lock")
+    __slots__ = ("kind", "table", "key", "lock", "home")
 
     KINDS = ("select", "update", "insert")
 
-    def __init__(self, kind, table, key, lock=None):
+    def __init__(self, kind, table, key, lock=None, home=None):
         if kind not in self.KINDS:
             raise ValueError("unknown operation kind %r" % (kind,))
         if kind == "update" and lock is None:
@@ -41,10 +47,12 @@ class Operation:
         self.table = table
         self.key = key
         self.lock = lock
+        self.home = home
 
     def __repr__(self):
         lock = "" if self.lock is None else " lock=%s" % self.lock
-        return "<%s %s[%s]%s>" % (self.kind, self.table, self.key, lock)
+        home = "" if self.home is None else " home=%s" % self.home
+        return "<%s %s[%s]%s%s>" % (self.kind, self.table, self.key, lock, home)
 
 
 class TxnSpec:

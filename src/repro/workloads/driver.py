@@ -12,6 +12,11 @@ the paper's measurement methodology.
 Fault injection: during a configured arrival-burst window the interarrival
 gap is divided by the plan's rate factor — a deterministic overload pulse
 that exercises the engines' bounded-queue shedding and deadline paths.
+
+The driver is engine-agnostic: anything with ``submit(ctx, spec)`` /
+``drain()`` can sit behind it, which is how clustered runs work — the
+runner hands it a :class:`~repro.cluster.Cluster` (router + 2PC
+coordinator) instead of a bare engine, and the driver never knows.
 """
 
 from repro.core.annotations import TransactionContext

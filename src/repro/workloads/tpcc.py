@@ -16,6 +16,15 @@ OLTP-Bench implementation on MySQL:
   variance; ``fixed_order_lines`` pins them for the Appendix C.1
   pure-workload experiment.
 
+Every operation is tagged with its ``home`` warehouse, so the workload
+shards naturally by warehouse under the cluster router.  Two knobs
+create genuine cross-shard transactions: ``remote_warehouse_prob``
+(spec 2.4.1.5: ~1% of NewOrder order lines draw stock from a remote
+warehouse) and ``remote_payment_prob`` (spec 2.5.1.2: a Payment for a
+customer homed at another warehouse; the spec says 15%, default here is
+0 so single-node runs mint byte-identical specs).  ``item`` is the
+replicated read-only table — its selects carry ``home=None``.
+
 Row counts are scaled down from the spec (3000 customers/district ->
 ``customers_per_district``) — contention depends on the *hot* row counts
 (W warehouses, 10W districts), which are kept exact, not on the cold
@@ -38,6 +47,7 @@ class TPCC(Workload):
         items_per_warehouse=2_000,
         fixed_order_lines=None,
         remote_warehouse_prob=0.01,
+        remote_payment_prob=0.0,
         warehouse_zipf_theta=0.99,
         item_zipf_theta=0.8,
         payment_name_scan=10,
@@ -66,6 +76,7 @@ class TPCC(Workload):
         self.items_per_warehouse = items_per_warehouse
         self.fixed_order_lines = fixed_order_lines
         self.remote_warehouse_prob = remote_warehouse_prob
+        self.remote_payment_prob = remote_payment_prob
         w = warehouses
         self.schema = {
             "warehouse": w,
@@ -126,12 +137,12 @@ class TPCC(Workload):
         d = self._district(rng, w)
         c = self._customer(rng, d)
         ops = [
-            Operation("select", "warehouse", w),
-            Operation("select", "customer", c),
+            Operation("select", "warehouse", w, home=w),
+            Operation("select", "customer", c, home=w),
             # SELECT ... FOR UPDATE on the district row (hot!): an X lock
             # taken from a select statement -> os_event_wait call site A.
-            Operation("select", "district", d, lock="X"),
-            Operation("update", "district", d),
+            Operation("select", "district", d, lock="X", home=w),
+            Operation("update", "district", d, home=w),
         ]
         for _ in range(self._order_line_count(rng)):
             item = self._item(rng)
@@ -139,48 +150,84 @@ class TPCC(Workload):
                 supply_w = rng.randrange(self.warehouses)
             else:
                 supply_w = w
+            # ITEM is read-only and replicated everywhere: home=None.
             ops.append(Operation("select", "item", item))
             ops.append(
-                Operation("select", "stock", self._stock(rng, supply_w, item), lock="X")
+                Operation(
+                    "select",
+                    "stock",
+                    self._stock(rng, supply_w, item),
+                    lock="X",
+                    home=supply_w,
+                )
             )
-            ops.append(Operation("update", "stock", self._stock(rng, supply_w, item)))
             ops.append(
-                Operation("insert", "order_line", self.fresh_key("order_line"))
+                Operation(
+                    "update", "stock", self._stock(rng, supply_w, item), home=supply_w
+                )
             )
-        ops.append(Operation("insert", "orders", self.fresh_key("orders")))
+            ops.append(
+                Operation(
+                    "insert", "order_line", self.fresh_key("order_line"), home=w
+                )
+            )
+        ops.append(Operation("insert", "orders", self.fresh_key("orders"), home=w))
         # Inserting into NEW_ORDER takes a next-key lock on the district's
         # insertion point — the classic TPC-C conflict with Delivery,
         # which locks the same spot while consuming the oldest order.
-        ops.append(Operation("update", "new_order", d))
-        ops.append(Operation("insert", "new_order", self.fresh_key("new_order")))
+        ops.append(Operation("update", "new_order", d, home=w))
+        ops.append(
+            Operation("insert", "new_order", self.fresh_key("new_order"), home=w)
+        )
         return ops
 
     def _payment(self, rng):
         w = self._warehouse(rng)
         d = self._district(rng, w)
-        c = self._customer(rng, d)
+        # Remote payment (spec 2.5.1.2): the paying customer is homed at
+        # another warehouse — the canonical TPC-C cross-shard write.  The
+        # short-circuit keeps the draw (and the RNG stream) out of
+        # single-node runs, where the default probability is 0.
+        if (
+            self.remote_payment_prob
+            and self.warehouses > 1
+            and rng.random() < self.remote_payment_prob
+        ):
+            cw = (w + 1 + rng.randrange(self.warehouses - 1)) % self.warehouses
+            cd = self._district(rng, cw)
+        else:
+            cw = w
+            cd = d
+        c = self._customer(rng, cd)
         ops = [
             # UPDATE WAREHOUSE ... : X lock from an update statement (site B)
-            Operation("update", "warehouse", w),
-            Operation("update", "district", d),
+            Operation("update", "warehouse", w, home=w),
+            Operation("update", "district", d, home=w),
         ]
         if rng.random() < 0.6:
             # Lookup by last name: a secondary-index range scan over the
             # namesakes before the update (the expensive Payment variant).
             for _ in range(self.payment_name_scan):
-                ops.append(Operation("select", "customer", self._customer(rng, d)))
-        ops.append(Operation("update", "customer", c))
-        ops.append(Operation("insert", "history", self.fresh_key("history")))
+                ops.append(
+                    Operation("select", "customer", self._customer(rng, cd), home=cw)
+                )
+        ops.append(Operation("update", "customer", c, home=cw))
+        ops.append(Operation("insert", "history", self.fresh_key("history"), home=w))
         return ops
 
     def _order_status(self, rng):
         w = self._warehouse(rng)
         d = self._district(rng, w)
         c = self._customer(rng, d)
-        ops = [Operation("select", "customer", c)]
+        ops = [Operation("select", "customer", c, home=w)]
         for _ in range(rng.randint(5, 15)):
             ops.append(
-                Operation("select", "order_line", rng.randrange(self.schema["order_line"]))
+                Operation(
+                    "select",
+                    "order_line",
+                    rng.randrange(self.schema["order_line"]),
+                    home=w,
+                )
             )
         return ops
 
@@ -191,19 +238,21 @@ class TPCC(Workload):
             d = w * 10 + dd
             # The oldest NEW_ORDER row per district is found with a
             # locking select (site A) before being consumed.
-            ops.append(Operation("select", "new_order", d, lock="X"))
-            ops.append(Operation("update", "new_order", d))
+            ops.append(Operation("select", "new_order", d, lock="X", home=w))
+            ops.append(Operation("update", "new_order", d, home=w))
             ops.append(
-                Operation("update", "orders", rng.randrange(self.schema["orders"]))
+                Operation(
+                    "update", "orders", rng.randrange(self.schema["orders"]), home=w
+                )
             )
-            ops.append(Operation("update", "customer", self._customer(rng, d)))
+            ops.append(Operation("update", "customer", self._customer(rng, d), home=w))
         return ops
 
     def _stock_level(self, rng):
         w = self._warehouse(rng)
         d = self._district(rng, w)
-        ops = [Operation("select", "district", d)]
+        ops = [Operation("select", "district", d, home=w)]
         for _ in range(20):
             item = rng.randrange(self.ITEMS)
-            ops.append(Operation("select", "stock", self._stock(rng, w, item)))
+            ops.append(Operation("select", "stock", self._stock(rng, w, item), home=w))
         return ops

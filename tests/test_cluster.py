@@ -1,0 +1,254 @@
+"""Tests for the cluster layer: routing, nodes, 2PC, determinism.
+
+The contract under test:
+
+- routing is a pure function of homes (no RNG, order-preserving);
+- node isolation: per-node seeded streams and ``node=<id>``-labeled
+  telemetry, so N engines coexist without sharing a draw or a metric;
+- single-home transactions commit through the fast path, cross-shard
+  transactions commit through 2PC and carry ``dist_prepare_wait`` /
+  ``dist_commit_wait`` frames in their traces;
+- clustered runs are a pure function of (config, seed), like everything
+  else in the tree;
+- ``num_shards=1`` with no topology builds no cluster objects at all.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.runner import ExperimentConfig, run_experiment
+from repro.cluster import HashRouter, Node, RangeRouter, Topology, make_router
+from repro.sim.kernel import Simulator
+from repro.sim.rand import Streams
+from repro.telemetry import MetricsRegistry, split_label
+from repro.workloads.base import Operation, TxnSpec
+
+DIST_PREPARE = ("dist_prepare_wait", "cluster")
+DIST_COMMIT = ("dist_commit_wait", "cluster")
+
+
+def cluster_config(**overrides):
+    kwargs = {
+        "engine": "mysql",
+        "workload_kwargs": {
+            "warehouses": 8,
+            "remote_payment_prob": 0.1,
+        },
+        "n_txns": 400,
+        "num_shards": 2,
+        "seed": 7,
+    }
+    kwargs.update(overrides)
+    return ExperimentConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Routers
+# ----------------------------------------------------------------------
+
+
+def spec_of(homes):
+    ops = [Operation("update", "warehouse", h or 0, home=h) for h in homes]
+    return TxnSpec("t", ops)
+
+
+def test_hash_router_spreads_homes():
+    router = HashRouter(4)
+    assert [router.shard_of(h) for h in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_range_router_keeps_ranges_contiguous():
+    router = RangeRouter(4, num_homes=8)
+    assert [router.shard_of(h) for h in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+def test_range_router_requires_enough_homes():
+    with pytest.raises(ValueError):
+        RangeRouter(4, num_homes=2)
+
+
+def test_make_router_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        make_router("consistent", 4)
+
+
+def test_split_single_home():
+    router = HashRouter(4)
+    groups = router.split(spec_of([5, 5, 5]))
+    assert list(groups) == [1]
+    assert len(groups[1]) == 3
+
+
+def test_split_cross_shard_preserves_statement_order():
+    router = HashRouter(2)
+    spec = spec_of([0, 1, 0, 1])
+    groups = router.split(spec)
+    assert list(groups) == [0, 1]
+    assert [op.home for op in groups[0]] == [0, 0]
+    assert [op.home for op in groups[1]] == [1, 1]
+
+
+def test_split_homeless_ops_follow_the_primary():
+    router = HashRouter(4)
+    # The first homed op (home=6 -> shard 2) sets the primary; the
+    # home=None item read rides along instead of fanning out.
+    groups = router.split(spec_of([None, 6, 6]))
+    assert list(groups) == [2]
+    assert len(groups[2]) == 3
+
+
+# ----------------------------------------------------------------------
+# Node isolation
+# ----------------------------------------------------------------------
+
+
+def test_nodes_get_scoped_streams_and_labeled_telemetry():
+    registry = MetricsRegistry()
+    sim = Simulator(telemetry=registry)
+    streams = Streams(3)
+    seen = {}
+
+    def make_engine(node_sim, node_streams):
+        rng = node_streams.stream("engine")
+        seen[node_sim.node_id] = rng.random()
+        node_sim.telemetry.counter("fake.started").inc()
+        return object()
+
+    Node(0, sim, streams, make_engine)
+    Node(1, sim, streams, make_engine)
+    # Different per-node stream prefixes -> different draws.
+    assert seen[0] != seen[1]
+    counters = registry.snapshot()["counters"]
+    assert counters["fake.started{node=0}"] == 1
+    assert counters["fake.started{node=1}"] == 1
+    assert split_label("fake.started{node=0}") == ("fake.started", {"node": "0"})
+
+
+# ----------------------------------------------------------------------
+# Clustered runs
+# ----------------------------------------------------------------------
+
+
+def test_single_node_config_builds_no_cluster():
+    config = cluster_config(num_shards=1, workload_kwargs={"warehouses": 8})
+    assert not config.is_clustered
+    result = run_experiment(config.replaced(n_txns=100))
+    assert result.engine.name == "mysql"
+
+
+def test_cluster_run_commits_and_accounts_for_every_txn():
+    result = run_experiment(cluster_config())
+    cluster = result.engine
+    assert cluster.name == "cluster"
+    assert cluster.cross_shard_txns > 0
+    assert cluster.single_home_txns > 0
+    assert (
+        cluster.single_home_txns + cluster.cross_shard_txns
+        == result.config.n_txns
+    )
+    # Every transaction reaches end_transaction exactly once.
+    assert len(result.log.traces) == result.config.n_txns
+    assert len(result.traces) > 0
+
+
+def test_cluster_same_seed_identical():
+    config = cluster_config(num_shards=4)
+    first = run_experiment(config)
+    second = run_experiment(config)
+    assert first.latencies == second.latencies
+    assert first.sim.now == second.sim.now
+    a = json.dumps(first.metrics_snapshot(), sort_keys=True)
+    b = json.dumps(second.metrics_snapshot(), sort_keys=True)
+    assert a == b
+
+
+def test_cross_shard_txns_carry_dist_frames():
+    result = run_experiment(cluster_config())
+    dist_traces = [t for t in result.traces if DIST_PREPARE in t.durations]
+    assert dist_traces
+    for trace in dist_traces:
+        assert trace.durations[DIST_PREPARE] > 0
+        assert DIST_COMMIT in trace.durations
+    # Fast-path transactions carry none.
+    plain = [t for t in result.traces if DIST_PREPARE not in t.durations]
+    assert plain
+
+
+def test_zero_remote_fraction_means_zero_cross_shard():
+    config = cluster_config(
+        workload_kwargs={
+            "warehouses": 8,
+            "remote_payment_prob": 0.0,
+            "remote_warehouse_prob": 0.0,
+        }
+    )
+    result = run_experiment(config)
+    assert result.engine.cross_shard_txns == 0
+    assert result.engine.single_home_txns == config.n_txns
+    snap = result.metrics_snapshot()
+    assert snap["histograms"]["cluster.prepare_wait"]["count"] == 0
+
+
+def test_cross_shard_count_grows_with_remote_fraction():
+    counts = []
+    for prob in (0.0, 0.1, 0.3):
+        config = cluster_config(
+            workload_kwargs={
+                "warehouses": 8,
+                "remote_payment_prob": prob,
+                "remote_warehouse_prob": 0.0,
+            }
+        )
+        counts.append(run_experiment(config).engine.cross_shard_txns)
+    assert counts[0] == 0
+    assert counts[0] < counts[1] < counts[2]
+
+
+def test_range_router_topology():
+    config = cluster_config(topology=Topology(router="range"))
+    result = run_experiment(config)
+    assert result.engine.router.kind == "range"
+    assert len(result.traces) > 0
+
+
+def test_postgres_cluster_runs():
+    config = cluster_config(
+        engine="postgres",
+        workload_kwargs={
+            "warehouses": 8,
+            "warehouse_zipf_theta": None,
+            "item_zipf_theta": None,
+            "remote_payment_prob": 0.1,
+        },
+        n_txns=300,
+    )
+    result = run_experiment(config)
+    assert result.engine.cross_shard_txns > 0
+    assert [t for t in result.traces if DIST_PREPARE in t.durations]
+
+
+def test_voltdb_cannot_host_a_cluster():
+    with pytest.raises(ValueError, match="branches"):
+        run_experiment(cluster_config(engine="voltdb"))
+
+
+def test_node_snapshots_partition_the_rollup():
+    result = run_experiment(cluster_config())
+    rollup = result.metrics_rollup()
+    per_node = [
+        result.node_metrics_snapshot(node_id)["counters"].get(
+            "mysql.txns_committed", 0
+        )
+        for node_id in range(result.config.num_shards)
+    ]
+    assert all(count > 0 for count in per_node)
+    assert sum(per_node) == rollup["counters"]["mysql.txns_committed"]
+    # Node snapshots come back under bare names, like single-node runs.
+    node0 = result.node_metrics_snapshot(0)
+    assert all("{" not in name for name in node0["counters"])
+
+
+def test_cluster_rejects_bad_shard_count():
+    with pytest.raises(ValueError):
+        ExperimentConfig(num_shards=0)

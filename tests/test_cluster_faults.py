@@ -1,0 +1,97 @@
+"""2PC edge cases under injected faults (repro.faults x repro.cluster).
+
+Three failure regimes from the fault catalogue, each asserted to abort
+*cleanly*: branches release their locks, the coordinator retries or
+gives up through the standard RetryPolicy, every transaction reaches
+end_transaction exactly once, and the per-reason abort counters name the
+culprit.
+
+- lock-wait-timeout storms during prepare: participants vote no with
+  ``timeout``;
+- network delay windows: the same seed's 2PC rounds take visibly longer
+  (``dist_*`` waits stretch), with no accounting drift;
+- worker crash mid-prepare: the dequeuing worker dies before voting, the
+  round aborts with ``crash`` and the transaction retries.
+"""
+
+from repro.bench.runner import ExperimentConfig, run_experiment
+from repro.cluster import Topology
+from repro.faults.plan import FaultPlan
+
+
+def chaos_config(plan=None, **overrides):
+    kwargs = {
+        "engine": "mysql",
+        "workload_kwargs": {
+            "warehouses": 8,
+            "remote_payment_prob": 0.3,
+            "remote_warehouse_prob": 0.0,
+        },
+        "n_txns": 400,
+        "num_shards": 2,
+        "seed": 11,
+        "fault_plan": plan,
+    }
+    kwargs.update(overrides)
+    return ExperimentConfig(**kwargs)
+
+
+def assert_clean_accounting(result):
+    """Every submitted transaction ends exactly once, committed or not."""
+    assert len(result.log.traces) == result.config.n_txns
+    committed = sum(1 for t in result.log.traces if t.committed)
+    assert committed + result.failed_txns == result.config.n_txns
+
+
+def test_lock_storm_times_out_prepares_and_retries():
+    plan = FaultPlan(
+        name="storm",
+        lock_storm_windows=((0.0, 1e9),),
+        lock_storm_timeout=1_500.0,
+    )
+    result = run_experiment(chaos_config(plan))
+    assert result.abort_counts.get("timeout", 0) > 0
+    assert_clean_accounting(result)
+    # The coordinator retried at least one cross-shard round.
+    retries = result.metrics_snapshot()["counters"].get("cluster.txn_retries", 0)
+    assert retries > 0
+
+
+def test_coordinator_gives_up_after_max_attempts():
+    plan = FaultPlan(
+        name="storm",
+        lock_storm_windows=((0.0, 1e9),),
+        lock_storm_timeout=1_000.0,
+    )
+    config = chaos_config(plan, topology=Topology(max_attempts=1))
+    result = run_experiment(config)
+    assert_clean_accounting(result)
+    assert result.failed_txns > 0
+    # Give-ups carry their final abort reason.
+    assert set(result.failed_counts) <= {"timeout", "deadlock", "shed", "abort"}
+
+
+def test_net_delay_stretches_distributed_waits():
+    clean = run_experiment(chaos_config())
+    plan = FaultPlan(
+        name="slow-net",
+        net_delay_windows=((0.0, 1e9),),
+        net_delay_factor=10.0,
+    )
+    slow = run_experiment(chaos_config(plan))
+    assert_clean_accounting(clean)
+    assert_clean_accounting(slow)
+    clean_wait = clean.metrics_snapshot()["histograms"]["cluster.prepare_wait"]
+    slow_wait = slow.metrics_snapshot()["histograms"]["cluster.prepare_wait"]
+    assert clean_wait["count"] > 0 and slow_wait["count"] > 0
+    assert slow_wait["mean"] > clean_wait["mean"]
+
+
+def test_worker_crash_mid_prepare_aborts_cleanly():
+    plan = FaultPlan(name="crashy", crash_prob=0.05)
+    result = run_experiment(chaos_config(plan))
+    assert result.abort_counts.get("crash", 0) > 0
+    assert result.fault_counts["worker_crashes"] > 0
+    assert_clean_accounting(result)
+    # Crashed rounds retried and the run still made progress.
+    assert len(result.traces) > 0

@@ -100,6 +100,37 @@ def test_cross_process_hash_seed_determinism():
     assert outputs[0] == outputs[1]
 
 
+def test_cross_process_hash_seed_determinism_clustered():
+    """The 4-shard 2PC path must also be hash-seed independent.
+
+    The cluster adds dict-heavy machinery the single-node check never
+    exercises — router group maps, per-link bandwidth state, merged
+    per-reason abort dicts — so it gets its own two-interpreter run.
+    """
+    code = (
+        "import sys, json; sys.path[:0] = json.loads(sys.argv[1]); "
+        "from repro.bench.runner import ExperimentConfig, run_experiment; "
+        "r = run_experiment(ExperimentConfig(engine='mysql', "
+        "workload_kwargs={'warehouses': 16, 'remote_payment_prob': 0.15}, "
+        "n_txns=300, num_shards=4, seed=9)); "
+        "print(json.dumps([sum(r.latencies), r.sim.now, "
+        "sorted(r.abort_counts.items()), r.engine.cross_shard_txns]))"
+    )
+    outputs = []
+    for hash_seed in ("0", "12345"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        proc = subprocess.run(
+            [sys.executable, "-c", code, json.dumps(sys.path)],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        outputs.append(proc.stdout)
+    assert outputs[0] == outputs[1]
+    assert json.loads(outputs[0])[3] > 0
+
+
 def test_telemetry_flag_does_not_change_results():
     """Emitters are zero virtual time: disabling telemetry is invisible
     to the simulation (the Figure 5 overhead study depends on this)."""

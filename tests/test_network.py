@@ -1,0 +1,137 @@
+"""Unit tests for the simulated network (repro.sim.network).
+
+The network is the cluster's variance source: seeded heavy-tailed
+propagation latency, per-link bandwidth queueing, and two fault hooks
+(delay windows, partitions).  These tests pin its semantics directly
+against a bare simulator, without building a cluster.
+"""
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.rand import Streams
+from repro.telemetry import MetricsRegistry
+
+
+def build(seed=7, config=None, plan=None):
+    registry = MetricsRegistry()
+    streams = Streams(seed)
+    if plan is not None and plan.enabled:
+        faults = FaultInjector(plan, streams, telemetry=registry)
+        sim = Simulator(telemetry=registry, faults=faults)
+    else:
+        sim = Simulator(telemetry=registry)
+    registry.bind_clock(sim)
+    net = Network(sim, streams.stream("net"), config=config)
+    return sim, net
+
+
+def send_and_record(sim, net, src, dst, nbytes, arrivals):
+    def proc():
+        yield from net.send(src, dst, nbytes)
+        arrivals.append(sim.now)
+
+    sim.spawn(proc(), name="send")
+
+
+def test_loopback_is_fixed_cost():
+    sim, net = build(config=NetworkConfig(loopback_cost=2.0))
+    arrivals = []
+    send_and_record(sim, net, 3, 3, 10_000, arrivals)
+    sim.run()
+    assert arrivals == [2.0]
+    assert net.messages == 1
+
+
+def test_same_seed_same_arrivals():
+    runs = []
+    for _ in range(2):
+        sim, net = build(seed=11)
+        arrivals = []
+        for i in range(50):
+            send_and_record(sim, net, 0, 1 + i % 3, 256, arrivals)
+        sim.run()
+        runs.append(arrivals)
+    assert runs[0] == runs[1]
+    assert len(runs[0]) == 50
+
+
+def test_bandwidth_queueing_serialises_a_link():
+    # 125_000 bytes at 1250 B/us = 100 us of transmission: the second
+    # message submitted at t=0 on the same link queues behind the first.
+    config = NetworkConfig(bandwidth_bytes_per_us=1250.0)
+    sim, net = build(config=config)
+    arrivals = []
+    send_and_record(sim, net, 0, 1, 125_000, arrivals)
+    send_and_record(sim, net, 0, 1, 125_000, arrivals)
+    sim.run()
+    snap = sim.telemetry.snapshot()
+    queue = snap["histograms"]["net.net.queue_delay"]
+    assert queue["count"] == 2
+    assert queue["max"] == pytest.approx(100.0)
+    # Distinct links do not share the bandwidth queue.
+    sim2, net2 = build(config=config)
+    arrivals2 = []
+    send_and_record(sim2, net2, 0, 1, 125_000, arrivals2)
+    send_and_record(sim2, net2, 0, 2, 125_000, arrivals2)
+    sim2.run()
+    queue2 = sim2.telemetry.snapshot()["histograms"]["net.net.queue_delay"]
+    assert queue2["max"] == pytest.approx(0.0)
+
+
+def test_partition_holds_messages_until_heal():
+    plan = FaultPlan(partition_windows=((0.0, 5_000.0),))
+    sim, net = build(plan=plan)
+    arrivals = []
+    send_and_record(sim, net, 0, 1, 64, arrivals)
+    sim.run()
+    assert net.partition_holds == 1
+    assert arrivals[0] >= 5_000.0
+
+
+def test_partition_links_limits_the_cut():
+    plan = FaultPlan(
+        partition_windows=((0.0, 5_000.0),), partition_links=((0, 1),)
+    )
+    sim, net = build(plan=plan)
+    arrivals_cut = []
+    arrivals_ok = []
+    send_and_record(sim, net, 0, 1, 64, arrivals_cut)
+    send_and_record(sim, net, 1, 0, 64, arrivals_ok)
+    sim.run()
+    assert net.partition_holds == 1
+    assert arrivals_cut[0] >= 5_000.0
+    assert arrivals_ok[0] < 5_000.0
+
+
+def test_net_delay_factor_scales_latency():
+    # Zero-byte messages isolate propagation latency (no transmission
+    # time); the same seed samples the same base latency, so the faulted
+    # arrival is exactly factor x the clean one.
+    clean_sim, clean_net = build(seed=5)
+    clean = []
+    send_and_record(clean_sim, clean_net, 0, 1, 0, clean)
+    clean_sim.run()
+    plan = FaultPlan(
+        net_delay_windows=((0.0, 1e9),), net_delay_factor=5.0
+    )
+    slow_sim, slow_net = build(seed=5, plan=plan)
+    slow = []
+    send_and_record(slow_sim, slow_net, 0, 1, 0, slow)
+    slow_sim.run()
+    assert slow[0] == pytest.approx(5.0 * clean[0])
+
+
+def test_telemetry_counts_messages_and_bytes():
+    sim, net = build()
+    arrivals = []
+    send_and_record(sim, net, 0, 1, 100, arrivals)
+    send_and_record(sim, net, 1, 2, 200, arrivals)
+    sim.run()
+    snap = sim.telemetry.snapshot()
+    assert snap["counters"]["net.net.messages"] == 2
+    assert snap["counters"]["net.net.bytes"] == 300
+    assert snap["histograms"]["net.net.latency"]["count"] == 2
