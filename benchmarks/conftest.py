@@ -85,6 +85,7 @@ def _config_key(config):
         _stable(config.fault_plan),
         config.num_shards,
         _stable(config.topology),
+        config.check,
     )
 
 

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Seeded chaos fuzzing against the correctness oracles.
+
+Usage::
+
+    PYTHONPATH=src python scripts/fuzz_check.py --seeds 25
+    PYTHONPATH=src python scripts/fuzz_check.py --start 100 --seeds 50
+
+Each seed deterministically generates one (engine, workload, topology,
+scheduler, fault-plan) configuration via ``repro.check.fuzz.make_case``,
+runs it with history recording on, and feeds the history to every
+oracle (serializability, 2PC atomicity, lock-interval invariants).
+
+On a violation the fuzzer shrinks the case — fewer transactions, no
+faults, fewer shards — and prints a ready-to-paste pytest reproducer,
+then exits 1.  Exit 0 means every seed came back clean.
+
+CI runs this with a tiny budget (the ``check-smoke`` job); longer local
+sweeps just raise ``--seeds``.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.check.fuzz import fuzz_one, make_case
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="fuzz the simulator against the correctness oracles"
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=25,
+        help="number of consecutive seeds to run (default 25)",
+    )
+    parser.add_argument(
+        "--start", type=int, default=0,
+        help="first seed (default 0)",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="on failure, skip shrinking and print the raw case",
+    )
+    args = parser.parse_args(argv)
+
+    seeds = range(args.start, args.start + args.seeds)
+    engines_seen = {}
+    shard_counts = {}
+    fault_kinds = {}
+    failures = []
+    t0 = time.time()
+    for seed in seeds:
+        case = make_case(seed)
+        engines_seen[case.engine] = engines_seen.get(case.engine, 0) + 1
+        shard_counts[case.num_shards] = shard_counts.get(case.num_shards, 0) + 1
+        fault_kinds[case.fault_kind] = fault_kinds.get(case.fault_kind, 0) + 1
+        report = fuzz_one(seed, shrink_on_failure=not args.no_shrink)
+        status = "FAIL %d violation(s)" % len(report.violations) if report.failed else "ok"
+        print(
+            "seed %4d  %-8s %-5s shards=%d fault=%-10s n=%-3d  %s"
+            % (
+                seed, case.engine, case.workload, case.num_shards,
+                case.fault_kind or "none", case.n_txns, status,
+            )
+        )
+        if report.failed:
+            failures.append(report)
+            print()
+            print("shrunk to: %r" % (report.shrunk,))
+            print("--- reproducer " + "-" * 50)
+            print(report.reproducer)
+            print("-" * 65)
+
+    elapsed = time.time() - t0
+    print()
+    print(
+        "ran %d seed(s) in %.1fs  engines=%s shards=%s faults=%s"
+        % (
+            len(seeds), elapsed,
+            dict(sorted(engines_seen.items())),
+            dict(sorted(shard_counts.items())),
+            dict(sorted(fault_kinds.items())),
+        )
+    )
+    if failures:
+        print("%d seed(s) FAILED: %s" % (
+            len(failures), [r.seed for r in failures],
+        ))
+        return 1
+    print("all seeds clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

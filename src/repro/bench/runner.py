@@ -21,6 +21,7 @@ that, so single-node runs stay byte-identical to the pre-cluster tree.
 
 import gc
 
+from repro.check.recorder import HistoryRecorder
 from repro.cluster import Cluster, Node, Topology, make_router
 from repro.core.annotations import TransactionLog
 from repro.core.tracing import Tracer
@@ -67,6 +68,7 @@ class ExperimentConfig:
         fault_plan=None,
         num_shards=1,
         topology=None,
+        check=False,
     ):
         if engine not in _ENGINES:
             raise ValueError("unknown engine %r" % (engine,))
@@ -94,6 +96,11 @@ class ExperimentConfig:
         # single-node run (no network, no router, no coordinator).
         self.num_shards = num_shards
         self.topology = topology
+        # Correctness checking (repro.check): record the run's history
+        # for the offline oracles.  The recorder consumes no virtual
+        # time, so — like telemetry — this flag can never change a run's
+        # results, only whether a history is available afterwards.
+        self.check = check
 
     @property
     def is_clustered(self):
@@ -116,6 +123,7 @@ class ExperimentConfig:
             "fault_plan": self.fault_plan,
             "num_shards": self.num_shards,
             "topology": self.topology,
+            "check": self.check,
         }
         fields.update(overrides)
         return ExperimentConfig(**fields)
@@ -261,6 +269,43 @@ class RunResult:
             "worker_crashes": faults.worker_crashes,
         }
 
+    # -- correctness checking (repro.check) ----------------------------
+
+    @property
+    def history(self):
+        """The recorded :class:`~repro.check.History` (None when off)."""
+        recorder = self.sim.check
+        return recorder.history if recorder.enabled else None
+
+    def check_report(self):
+        """Run every oracle over the history; ``[]`` means clean.
+
+        ``None`` when the run was configured with ``check=False``.
+        """
+        history = self.history
+        if history is None:
+            return None
+        from repro.check.oracles import check_all
+
+        return check_all(history)
+
+    @property
+    def txn_outcomes(self):
+        """Bounded per-transaction ``(txn_id, type, outcome)`` listing.
+
+        Recorded behind the ``check`` flag; ``None`` when checking was
+        off.  ``outcome`` is ``"committed"`` or the failure reason
+        (``"shed"`` / ``"deadline"`` / ``"deadlock"`` ...).
+        """
+        recorder = self.sim.check
+        return list(recorder.outcomes) if recorder.enabled else None
+
+    @property
+    def outcome_counts(self):
+        """Exact per-outcome totals (unbounded; ``None`` when check off)."""
+        recorder = self.sim.check
+        return dict(recorder.outcome_counts) if recorder.enabled else None
+
     @property
     def throughput_tps(self):
         """Completed transactions per second of virtual time."""
@@ -298,6 +343,8 @@ def run_experiment(config, simulator_cls=None):
         simulator_cls = Simulator
     sim = simulator_cls(telemetry=registry, faults=faults)
     registry.bind_clock(sim)
+    if config.check:
+        sim.check = HistoryRecorder(sim)
     workload = make_workload(config.workload, **config.workload_kwargs)
     log = TransactionLog()
     engine_cls, _config_cls, callgraph_factory = _ENGINES[config.engine]

@@ -1,0 +1,63 @@
+"""repro.check — the simulation-testing oracle subsystem.
+
+A FoundationDB-style correctness layer for the simulated engines:
+
+- :mod:`repro.check.recorder` — a zero-cost-when-disabled history
+  recorder (``sim.check``) capturing read/write sets, outcomes, lock
+  intervals and 2PC rounds in virtual-time order;
+- :mod:`repro.check.oracles` — offline checkers over that history
+  (model-based serializability, 2PC atomicity/durability, lock-manager
+  invariants);
+- :mod:`repro.check.fuzz` — a seeded chaos fuzzer that generates
+  (workload, fault plan, topology, scheduler) configurations, runs them
+  with the oracles on, and shrinks any failure to a minimal reproducer.
+
+Enable per run with ``ExperimentConfig(check=True)``; the oracles then
+run over ``RunResult.history``::
+
+    from repro import ExperimentConfig, run_experiment
+    from repro.check import check_all
+
+    result = run_experiment(ExperimentConfig(engine="mysql", check=True))
+    assert check_all(result.history) == []
+
+This package's ``__init__`` imports only the recorder (stdlib-only), so
+the simulator kernel can wire :data:`NO_CHECK` without import cycles;
+the oracle and fuzzer symbols load lazily on first attribute access.
+"""
+
+from repro.check.recorder import (
+    NO_CHECK,
+    OWN,
+    History,
+    HistoryRecorder,
+    OpRec,
+    RoundRec,
+    TxnRec,
+)
+
+_ORACLE_SYMBOLS = (
+    "Violation",
+    "check_all",
+    "check_serializability",
+    "check_2pc_atomicity",
+    "check_lock_intervals",
+)
+
+__all__ = [
+    "NO_CHECK",
+    "OWN",
+    "History",
+    "HistoryRecorder",
+    "OpRec",
+    "RoundRec",
+    "TxnRec",
+] + list(_ORACLE_SYMBOLS)
+
+
+def __getattr__(name):
+    if name in _ORACLE_SYMBOLS:
+        from repro.check import oracles
+
+        return getattr(oracles, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

@@ -1,0 +1,46 @@
+"""Test-only corruption knobs for the correctness oracles.
+
+The oracle subsystem must itself be testable: a checker that never
+rejects anything is indistinguishable from a correct system.  Setting
+``CORRUPTION`` makes the :class:`~repro.check.recorder.HistoryRecorder`
+*misrecord* a run in a precisely-known way, so the oracles can be shown
+to catch each anomaly class and the fuzzer's shrinking loop can be
+exercised against a deterministic planted bug — without touching the
+engines themselves (the simulation stays correct; only its recorded
+history lies).
+
+Modes:
+
+- ``"lost_update"`` — committed writes are never installed into the
+  shadow store, so every later read observes a stale version.
+- ``"dirty_read"`` — writes are installed at execution time instead of
+  commit time, making uncommitted (and aborted) data visible.
+- ``"partial_commit"`` — the highest-numbered shard's commit seal is
+  dropped from the 2PC round record.
+- ``"decision_log_gap"`` — the coordinator's decision is recorded as
+  never having reached its log.
+
+``None`` (the default) records faithfully.  Production code never reads
+this module except through the recorder's constructor.
+"""
+
+import contextlib
+
+MODES = (None, "lost_update", "dirty_read", "partial_commit", "decision_log_gap")
+
+#: Active corruption mode; see module docstring.
+CORRUPTION = None
+
+
+@contextlib.contextmanager
+def corrupted(mode):
+    """Context manager: plant ``mode`` for the duration of a block."""
+    global CORRUPTION
+    if mode not in MODES:
+        raise ValueError("unknown corruption mode %r" % (mode,))
+    previous = CORRUPTION
+    CORRUPTION = mode
+    try:
+        yield
+    finally:
+        CORRUPTION = previous

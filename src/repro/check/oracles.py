@@ -1,0 +1,282 @@
+"""Offline correctness oracles over a recorded :class:`History`.
+
+Three independent checkers, one entry point (:func:`check_all`):
+
+- :func:`check_serializability` — model-based replay in the style of
+  Elle/FoundationDB: committed transactions replay in commit order
+  against a :class:`~repro.storage.tables.SequentialTableModel`, and
+  every committed read must be explainable.  Locking (2PL) reads must
+  equal the sequential model exactly — a mismatch is a lost update or a
+  lock-discipline hole.  Non-locking reads (the MVCC engines read
+  snapshots without record locks) must observe a version whose writer
+  committed *before* the read — anything else is a dirty read.
+- :func:`check_2pc_atomicity` — no partial cross-shard commits: a
+  commit decision requires unanimous yes votes and a commit seal on
+  every shard; the decision must be on the coordinator log before any
+  participant seals; an aborted round must seal nothing and an aborted
+  global transaction must never have a committed round (no resurrection
+  after crash-and-retry).
+- :func:`check_lock_intervals` — strict 2PL as recorded by the lock
+  manager itself: no committed transaction's exclusive hold interval on
+  an object may overlap another committed transaction's hold on the
+  same object.
+
+Each violation is a :class:`Violation` with a stable ``rule`` slug, so
+tests (and fuzzer reproducers) can assert on anomaly classes without
+string-matching prose.
+"""
+
+from repro.storage.tables import SequentialTableModel
+
+from repro.check.recorder import OWN
+
+
+class Violation:
+    """One oracle failure: which rule, which transaction, and why."""
+
+    __slots__ = ("rule", "txn_id", "detail")
+
+    def __init__(self, rule, txn_id, detail):
+        self.rule = rule
+        self.txn_id = txn_id
+        self.detail = detail
+
+    def __repr__(self):
+        return "Violation(%r, txn=%r, %s)" % (self.rule, self.txn_id, self.detail)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Violation)
+            and self.rule == other.rule
+            and self.txn_id == other.txn_id
+            and self.detail == other.detail
+        )
+
+    def __hash__(self):
+        return hash((self.rule, self.txn_id, self.detail))
+
+
+def check_serializability(history):
+    """Replay committed transactions against the sequential model."""
+    violations = []
+    committed = history.committed()
+    # Version bookkeeping: which versions exist, when their writer
+    # committed, and the per-key install sequence (ascending commit_seq).
+    installs = {}
+    version_commit = {}
+    for txn in committed:
+        final = {}
+        for i, op in enumerate(txn.ops):
+            if op.kind != "select":
+                final[(op.table, op.key)] = (txn.txn_id, i)
+        for key, version in final.items():
+            installs.setdefault(key, []).append((txn.commit_seq, version))
+            version_commit[version] = txn.commit_seq
+        # Overwritten-within-txn intermediate versions still "exist" for
+        # the dirty-read check (they commit when their txn does).
+        for i, op in enumerate(txn.ops):
+            if op.kind != "select":
+                version_commit.setdefault((txn.txn_id, i), txn.commit_seq)
+    model = SequentialTableModel()
+    for txn in committed:
+        written = set()
+        for op in txn.ops:
+            key = (op.table, op.key)
+            if op.kind != "select":
+                written.add(key)
+                continue
+            if key in written:
+                if op.observed != OWN:
+                    violations.append(Violation(
+                        "read-own-write", txn.txn_id,
+                        "read of %r after own write observed %r"
+                        % (key, op.observed),
+                    ))
+                continue
+            if op.observed == OWN:
+                violations.append(Violation(
+                    "read-own-write", txn.txn_id,
+                    "read of %r marked own-write without a prior write" % (key,),
+                ))
+                continue
+            if op.observed is not None:
+                writer_commit = version_commit.get(op.observed)
+                if writer_commit is None:
+                    violations.append(Violation(
+                        "dirty-read", txn.txn_id,
+                        "read of %r observed %r whose writer never committed"
+                        % (key, op.observed),
+                    ))
+                    continue
+                if writer_commit >= op.seq:
+                    violations.append(Violation(
+                        "dirty-read", txn.txn_id,
+                        "read of %r observed %r before its writer committed "
+                        "(commit seq %d >= read seq %d)"
+                        % (key, op.observed, writer_commit, op.seq),
+                    ))
+                    continue
+            if op.locked:
+                expected = model.read(op.table, op.key)
+                if op.observed != expected:
+                    violations.append(Violation(
+                        "stale-locking-read", txn.txn_id,
+                        "locking read of %r observed %r, sequential model "
+                        "says %r (lost update?)"
+                        % (key, op.observed, expected),
+                    ))
+            else:
+                # Read-committed floor for snapshot reads: the latest
+                # version installed before this read.
+                expected = None
+                for commit_seq, version in installs.get(key, ()):
+                    if commit_seq < op.seq:
+                        expected = version
+                    else:
+                        break
+                if op.observed != expected:
+                    violations.append(Violation(
+                        "stale-read", txn.txn_id,
+                        "non-locking read of %r observed %r, latest "
+                        "committed version at read time was %r"
+                        % (key, op.observed, expected),
+                    ))
+        for i, op in enumerate(txn.ops):
+            if op.kind != "select":
+                model.write(op.table, op.key, (txn.txn_id, i))
+    return violations
+
+
+def check_2pc_atomicity(history):
+    """No partial commits, durable decisions, no resurrected aborts."""
+    violations = []
+    for rnd in history.rounds:
+        if rnd.decision is None:
+            if rnd.seals:
+                violations.append(Violation(
+                    "2pc-seal-without-decision", rnd.gid,
+                    "round %d sealed shards %r with no coordinator decision"
+                    % (rnd.round_index, sorted(rnd.seals)),
+                ))
+            continue
+        commit, logged, decided_at = rnd.decision
+        if commit:
+            if logged is False:
+                violations.append(Violation(
+                    "2pc-decision-log-gap", rnd.gid,
+                    "round %d commit decision never reached the "
+                    "coordinator log" % (rnd.round_index,),
+                ))
+            for shard in rnd.shards:
+                vote = rnd.votes.get(shard)
+                if vote is None or not vote[0]:
+                    violations.append(Violation(
+                        "2pc-commit-despite-no-vote", rnd.gid,
+                        "round %d committed but shard %r voted %r"
+                        % (rnd.round_index, shard,
+                           None if vote is None else vote[0]),
+                    ))
+                sealed_at = rnd.seals.get(shard)
+                if sealed_at is None:
+                    violations.append(Violation(
+                        "2pc-partial-commit", rnd.gid,
+                        "round %d committed but shard %r never sealed"
+                        % (rnd.round_index, shard),
+                    ))
+                elif logged and sealed_at < decided_at:
+                    violations.append(Violation(
+                        "2pc-seal-before-decision-logged", rnd.gid,
+                        "round %d shard %r sealed at %r before the decision "
+                        "was logged at %r"
+                        % (rnd.round_index, shard, sealed_at, decided_at),
+                    ))
+                outcome = rnd.outcomes.get(shard)
+                if outcome is not None and not outcome[0]:
+                    violations.append(Violation(
+                        "2pc-partial-commit", rnd.gid,
+                        "round %d committed but shard %r aborted its branch"
+                        % (rnd.round_index, shard),
+                    ))
+        else:
+            if rnd.seals:
+                violations.append(Violation(
+                    "2pc-aborted-round-sealed", rnd.gid,
+                    "round %d aborted but shards %r sealed commit records"
+                    % (rnd.round_index, sorted(rnd.seals)),
+                ))
+            for shard, outcome in rnd.outcomes.items():
+                if outcome[0]:
+                    violations.append(Violation(
+                        "2pc-resurrected-abort", rnd.gid,
+                        "round %d aborted but shard %r committed its branch"
+                        % (rnd.round_index, shard),
+                    ))
+    # Global-outcome consistency: exactly the committed transactions
+    # have a committed round, and never more than one.
+    rounds_by_gid = {}
+    for rnd in history.rounds:
+        rounds_by_gid.setdefault(rnd.gid, []).append(rnd)
+    globals_by_id = {t.txn_id: t for t in history.txns if t.gid is None}
+    for gid, rounds in rounds_by_gid.items():
+        committed_rounds = [
+            r for r in rounds if r.decision is not None and r.decision[0]
+        ]
+        if len(committed_rounds) > 1:
+            violations.append(Violation(
+                "2pc-double-commit", gid,
+                "%d rounds committed for one transaction"
+                % (len(committed_rounds),),
+            ))
+        top = globals_by_id.get(gid)
+        if top is None:
+            continue
+        if top.committed and not committed_rounds:
+            violations.append(Violation(
+                "2pc-commit-mismatch", gid,
+                "transaction reported committed but no round committed",
+            ))
+        elif not top.committed and committed_rounds:
+            violations.append(Violation(
+                "2pc-resurrected-abort", gid,
+                "transaction reported failed (%r) but round %d committed"
+                % (top.reason, committed_rounds[0].round_index),
+            ))
+    return violations
+
+
+def check_lock_intervals(history):
+    """No conflicting lock holds overlap in time among committed txns."""
+    violations = []
+    per_object = {}
+    for txn in history.txns:
+        if not txn.committed:
+            continue
+        for obj_id, mode, t0, t1 in txn.lock_intervals:
+            per_object.setdefault(obj_id, []).append((t0, t1, mode, txn.txn_id))
+    for obj_id, intervals in per_object.items():
+        intervals.sort(key=lambda entry: (entry[0], entry[1]))
+        active = []
+        for t0, t1, mode, txn_id in intervals:
+            # Touching endpoints are legal: release and re-grant can
+            # share a virtual instant (strict inequality = true overlap).
+            active = [a for a in active if a[1] > t0]
+            for _a0, _a1, other_mode, other_txn in active:
+                if other_txn == txn_id:
+                    continue
+                if mode == "X" or other_mode == "X":
+                    violations.append(Violation(
+                        "lock-overlap", txn_id,
+                        "%s hold on %r during [%r, %r] overlaps %s hold by "
+                        "txn %r" % (mode, obj_id, t0, t1, other_mode, other_txn),
+                    ))
+            active.append((t0, t1, mode, txn_id))
+    return violations
+
+
+def check_all(history):
+    """Run every oracle; returns the combined violation list."""
+    return (
+        check_serializability(history)
+        + check_2pc_atomicity(history)
+        + check_lock_intervals(history)
+    )

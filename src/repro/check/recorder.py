@@ -1,0 +1,383 @@
+"""The history recorder: the oracle subsystem's view of one run.
+
+:class:`HistoryRecorder` hangs off the simulator as ``sim.check``
+(mirroring ``sim.telemetry`` and ``sim.faults``) and receives hook
+calls from the engines, the lock manager and the cluster coordinator as
+a run executes.  It captures, in virtual-time order:
+
+- per-transaction read/write sets, with the *version* each read
+  observed (tracked in a shadow store the recorder maintains — the
+  engines model costs, not values, so the recorder supplies the value
+  semantics the serializability oracle replays against);
+- commit/abort outcomes with reasons, plus per-object lock hold
+  intervals reported by the lock manager;
+- 2PC round records: participant votes, the coordinator's decision and
+  whether it reached the decision log, and each participant's commit
+  seal.
+
+Ordering is captured by a global event sequence number (``seq``): the
+simulator dispatches one process at a time, so hook-call order *is* a
+linearisation of the run, and virtual timestamps alone cannot order
+events that share an instant.
+
+Zero-cost-when-disabled discipline: the shared :data:`NO_CHECK` null
+object answers ``enabled = False`` and every subsystem guards its hooks
+with one attribute test, exactly like ``NO_FAULTS`` / the null metrics
+registry.  The recorder itself consumes no virtual time, draws no
+randomness and emits no telemetry, so enabling it can never change a
+run's results — ``tests/test_check_fuzz.py`` pins a digest across the
+flag to keep that true.
+"""
+
+from repro.check import _test_hooks
+
+#: Sentinel observation for a read that saw the transaction's own
+#: uncommitted write (read-your-own-write never consults the store).
+OWN = "<own-write>"
+
+
+class _NullCheck:
+    """Shared no-op stand-in wired as ``sim.check`` by default."""
+
+    enabled = False
+
+    def __repr__(self):
+        return "<NO_CHECK>"
+
+
+NO_CHECK = _NullCheck()
+
+
+class OpRec:
+    """One executed statement: what it touched and what it observed.
+
+    ``observed`` is meaningful for selects only: the version token the
+    read saw (``None`` = initial database state, :data:`OWN` = the
+    transaction's own pending write).  ``locked`` records whether the
+    statement held a record lock when it ran — locking reads must
+    replay exactly against the sequential model; non-locking reads only
+    need read-committed consistency (the MVCC engines read snapshots).
+    """
+
+    __slots__ = ("seq", "t", "kind", "table", "key", "locked", "observed")
+
+    def __init__(self, seq, t=0.0, kind="select", table="t", key=0,
+                 locked=False, observed=None):
+        self.seq = seq
+        self.t = t
+        self.kind = kind
+        self.table = table
+        self.key = key
+        self.locked = locked
+        self.observed = observed
+
+    def __repr__(self):
+        return "<OpRec #%d %s %s[%r]%s>" % (
+            self.seq, self.kind, self.table, self.key,
+            " locked" if self.locked else "",
+        )
+
+
+class TxnRec:
+    """One finished transaction (or 2PC branch) in the history.
+
+    ``commit_seq`` is the global event sequence at which the outcome was
+    observed (``None`` for aborts); committed transactions replay in
+    ``commit_seq`` order.  Branches carry their parent's global id in
+    ``gid`` plus the 2PC round index and shard; top-level transactions
+    have ``gid is None``.
+    """
+
+    __slots__ = (
+        "txn_id", "txn_type", "committed", "reason", "ops", "commit_seq",
+        "commit_time", "lock_intervals", "gid", "round_index", "node",
+    )
+
+    def __init__(self, txn_id, txn_type="txn", committed=True, reason=None,
+                 ops=(), commit_seq=None, commit_time=0.0, lock_intervals=(),
+                 gid=None, round_index=None, node=None):
+        self.txn_id = txn_id
+        self.txn_type = txn_type
+        self.committed = committed
+        self.reason = reason
+        self.ops = tuple(ops)
+        self.commit_seq = commit_seq
+        self.commit_time = commit_time
+        self.lock_intervals = tuple(lock_intervals)
+        self.gid = gid
+        self.round_index = round_index
+        self.node = node
+
+    def __repr__(self):
+        return "<TxnRec %r %s ops=%d%s>" % (
+            self.txn_id,
+            "committed" if self.committed else "aborted:%s" % (self.reason,),
+            len(self.ops),
+            "" if self.gid is None else " gid=%r" % (self.gid,),
+        )
+
+
+class RoundRec:
+    """One 2PC round: the shards involved, their votes, the decision.
+
+    ``votes`` maps shard id to ``(vote, reason, t)``; ``decision`` is
+    ``None`` until made, then ``(commit, logged, t)`` where ``logged``
+    is True/False for a presumed-nothing coordinator and ``None`` when
+    the decision log is configured off (the durability check is then
+    vacuous by design, not violated).  ``seals`` maps shard id to the
+    virtual time its commit record was forced; ``outcomes`` maps shard
+    id to ``(committed, t)`` after the branch fully finished.
+    """
+
+    __slots__ = ("gid", "round_index", "shards", "votes", "decision",
+                 "seals", "outcomes")
+
+    def __init__(self, gid, round_index, shards, votes=None, decision=None,
+                 seals=None, outcomes=None):
+        self.gid = gid
+        self.round_index = round_index
+        self.shards = tuple(shards)
+        self.votes = dict(votes or {})
+        self.decision = decision
+        self.seals = dict(seals or {})
+        self.outcomes = dict(outcomes or {})
+
+    def __repr__(self):
+        return "<RoundRec gid=%r round=%d shards=%r decision=%r>" % (
+            self.gid, self.round_index, self.shards, self.decision,
+        )
+
+
+class History:
+    """Everything one run recorded: transaction and 2PC round records."""
+
+    __slots__ = ("txns", "rounds")
+
+    def __init__(self, txns=None, rounds=None):
+        self.txns = list(txns or [])
+        self.rounds = list(rounds or [])
+
+    def committed(self):
+        """Committed records in commit order (the replay order)."""
+        return sorted(
+            (t for t in self.txns if t.committed),
+            key=lambda t: t.commit_seq,
+        )
+
+    def __repr__(self):
+        return "<History txns=%d rounds=%d>" % (len(self.txns), len(self.rounds))
+
+
+class _Pending:
+    """Per-in-flight-transaction scratch state (discarded on retry)."""
+
+    __slots__ = ("ops", "written", "intervals", "grants")
+
+    def __init__(self):
+        self.ops = []
+        self.written = set()
+        self.intervals = []
+        self.grants = {}
+
+
+class HistoryRecorder:
+    """Live hook sink building a :class:`History`; ``enabled`` is True.
+
+    ``max_outcomes`` bounds the per-transaction outcome listing exposed
+    as ``RunResult.txn_outcomes`` (the aggregate ``outcome_counts`` stay
+    exact past the bound); history records themselves are unbounded —
+    checking is a test-time mode, not a production one.
+    """
+
+    enabled = True
+
+    def __init__(self, sim, corruption=None, max_outcomes=100_000):
+        self.sim = sim
+        self.corruption = (
+            corruption if corruption is not None else _test_hooks.CORRUPTION
+        )
+        self.history = History()
+        self.max_outcomes = max_outcomes
+        self.outcomes = []
+        self.outcome_counts = {}
+        self.outcomes_dropped = 0
+        self._seq = 0
+        # Shadow committed store: (table, key) -> version token
+        # (writer_txn_id, op_index).  Never iterated, so hash order
+        # cannot leak into results.
+        self._store = {}
+        self._pending = {}
+        # 2PC branch bookkeeping: branch ctx -> (RoundRec, shard id).
+        self._branch_info = {}
+        self._rounds_started = {}
+        self._live_round = {}
+
+    # ------------------------------------------------------------------
+    # Engine hooks: attempts, statements, outcomes
+    # ------------------------------------------------------------------
+
+    def begin_attempt(self, ctx):
+        """A (re)attempt starts: discard any partial earlier attempt."""
+        self._pending[ctx] = _Pending()
+
+    def _pending_for(self, ctx):
+        p = self._pending.get(ctx)
+        if p is None:
+            p = self._pending[ctx] = _Pending()
+        return p
+
+    def record_op(self, ctx, op, locked):
+        """One statement completed successfully under ``ctx``."""
+        p = self._pending_for(ctx)
+        key = (op.table, op.key)
+        self._seq += 1
+        if op.kind == "select":
+            observed = OWN if key in p.written else self._store.get(key)
+        else:
+            observed = None
+            p.written.add(key)
+            if self.corruption == "dirty_read":
+                # Planted bug: make the uncommitted write visible now.
+                self._store[key] = (ctx.txn_id, len(p.ops))
+        p.ops.append(OpRec(
+            self._seq, self.sim.now, op.kind, op.table, op.key, locked, observed,
+        ))
+
+    def finish(self, ctx, committed):
+        """The transaction's final outcome (engine/cluster observe_txn)."""
+        p = self._pending.pop(ctx, None) or _Pending()
+        self._seq += 1
+        reason = None if committed else (ctx.abort_reason or "abort")
+        rec = TxnRec(
+            ctx.txn_id, ctx.txn_type, committed, reason, tuple(p.ops),
+            self._seq if committed else None, self.sim.now,
+            self._close_intervals(p),
+        )
+        if committed:
+            self._install(rec)
+        self.history.txns.append(rec)
+        outcome = "committed" if committed else reason
+        self.outcome_counts[outcome] = self.outcome_counts.get(outcome, 0) + 1
+        if len(self.outcomes) < self.max_outcomes:
+            self.outcomes.append((ctx.txn_id, ctx.txn_type, outcome))
+        else:
+            self.outcomes_dropped += 1
+        return rec
+
+    def _close_intervals(self, p):
+        # Locks are normally all released before finish; anything still
+        # open (hand-driven unit tests) closes at the current instant.
+        if p.grants:
+            now = self.sim.now
+            for obj_id, (mode, t0) in p.grants.items():
+                p.intervals.append((obj_id, mode, t0, now))
+            p.grants.clear()
+        return tuple(p.intervals)
+
+    def _install(self, rec):
+        if self.corruption == "lost_update":
+            return  # Planted bug: committed writes vanish.
+        if self.corruption == "dirty_read":
+            return  # Already (wrongly) installed at execution time.
+        for i, op in enumerate(rec.ops):
+            if op.kind != "select":
+                self._store[(op.table, op.key)] = (rec.txn_id, i)
+
+    # ------------------------------------------------------------------
+    # Lock-manager hooks: precise per-object hold intervals
+    # ------------------------------------------------------------------
+
+    def lock_granted(self, ctx, obj_id, mode, upgrade):
+        """``ctx`` now holds ``obj_id`` in ``mode`` ("S"/"X")."""
+        p = self._pending_for(ctx)
+        now = self.sim.now
+        current = p.grants.get(obj_id)
+        if current is None:
+            p.grants[obj_id] = (mode, now)
+        elif upgrade and current[0] != mode:
+            # S -> X upgrade: close the shared interval, open exclusive.
+            p.intervals.append((obj_id, current[0], current[1], now))
+            p.grants[obj_id] = (mode, now)
+
+    def locks_released(self, ctx, now):
+        """``ctx`` released everything (2PL shrink at commit/abort)."""
+        p = self._pending.get(ctx)
+        if p is None:
+            return
+        for obj_id, (mode, t0) in p.grants.items():
+            p.intervals.append((obj_id, mode, t0, now))
+        p.grants.clear()
+
+    # ------------------------------------------------------------------
+    # 2PC hooks (cluster coordinator + participant engines)
+    # ------------------------------------------------------------------
+
+    def twopc_begin(self, ctx, branches):
+        """A 2PC round starts; ``branches`` is ``[(branch_ctx, shard)]``."""
+        gid = ctx.txn_id
+        index = self._rounds_started.get(gid, 0)
+        self._rounds_started[gid] = index + 1
+        rec = RoundRec(gid, index, [shard for _ctx, shard in branches])
+        self.history.rounds.append(rec)
+        self._live_round[gid] = rec
+        for branch_ctx, shard in branches:
+            self._branch_info[branch_ctx] = (rec, shard)
+            self.begin_attempt(branch_ctx)
+        return rec
+
+    def branch_vote(self, ctx, vote, reason=None):
+        """A participant voted; a no vote also ends the branch."""
+        info = self._branch_info.get(ctx)
+        if info is None:
+            return
+        rec, shard = info
+        rec.votes[shard] = (bool(vote), reason, self.sim.now)
+        if not vote:
+            self._finish_branch(ctx, False, reason)
+
+    def twopc_decision(self, ctx, commit, logged):
+        """The coordinator decided; ``logged`` None = no decision log."""
+        rec = self._live_round.get(ctx.txn_id)
+        if rec is None:
+            return
+        if self.corruption == "decision_log_gap" and logged:
+            logged = False  # Planted bug: the forced record never happened.
+        rec.decision = (bool(commit), logged, self.sim.now)
+
+    def branch_sealed(self, ctx):
+        """The participant forced its commit record (locks still held)."""
+        info = self._branch_info.get(ctx)
+        if info is None:
+            return
+        rec, shard = info
+        if self.corruption == "partial_commit" and shard == max(rec.shards):
+            return  # Planted bug: one shard's seal is lost.
+        rec.seals[shard] = self.sim.now
+
+    def branch_finished(self, ctx, committed):
+        """The branch released everything and reported its outcome."""
+        if ctx in self._branch_info:
+            self._finish_branch(ctx, committed, None)
+
+    def _finish_branch(self, ctx, committed, reason):
+        rec, shard = self._branch_info.pop(ctx)
+        p = self._pending.pop(ctx, None) or _Pending()
+        self._seq += 1
+        final_reason = None if committed else (
+            reason or ctx.abort_reason or "abort"
+        )
+        trec = TxnRec(
+            ctx.txn_id, ctx.txn_type, committed, final_reason, tuple(p.ops),
+            self._seq if committed else None, self.sim.now,
+            self._close_intervals(p),
+            gid=rec.gid, round_index=rec.round_index, node=shard,
+        )
+        if committed:
+            self._install(trec)
+        rec.outcomes[shard] = (committed, self.sim.now)
+        self.history.txns.append(trec)
+
+    def __repr__(self):
+        return "<HistoryRecorder seq=%d txns=%d rounds=%d>" % (
+            self._seq, len(self.history.txns), len(self.history.rounds),
+        )

@@ -99,6 +99,7 @@ class Cluster:
         self.streams = streams
         self.topology = topology
         self.telemetry = sim.telemetry
+        self.check = sim.check
         self.retry_policy = RetryPolicy(
             max_attempts=topology.max_attempts,
             base_backoff=topology.backoff_range[0],
@@ -255,6 +256,11 @@ class Cluster:
             )
             for shard, ops in groups.items()
         ]
+        check = self.check
+        if check.enabled:
+            check.twopc_begin(
+                ctx, [(branch.ctx, branch.node_id) for branch in branches]
+            )
         # Phase 1 — prepare: one courier per branch carries the request
         # out and the vote back; the couriers overlap, the coordinator
         # pays the slowest.
@@ -278,6 +284,10 @@ class Cluster:
         if self.coord_disk is not None:
             yield from self.coord_disk.write(topology.decision_bytes)
             yield from self.coord_disk.flush()
+        if check.enabled:
+            check.twopc_decision(
+                ctx, commit, logged=True if self.coord_disk is not None else None
+            )
         # Phase 2 — decision: only voted-yes participants are parked on
         # the decision event (no-voters already released and left).
         started = sim.now
@@ -351,6 +361,8 @@ class Cluster:
     # ------------------------------------------------------------------
 
     def observe_txn(self, ctx, committed):
+        if self.check.enabled:
+            self.check.finish(ctx, committed)
         tm = self.telemetry
         if committed:
             self._t_committed.inc()

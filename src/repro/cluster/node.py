@@ -19,7 +19,7 @@ simulator), so the pre-cluster fast paths and goldens are untouched.
 class NodeSim:
     """A per-node view of the simulator: same clock, scoped telemetry."""
 
-    __slots__ = ("_sim", "node_id", "telemetry", "faults")
+    __slots__ = ("_sim", "node_id", "telemetry", "faults", "check")
 
     def __init__(self, sim, node_id, telemetry=None, faults=None):
         self._sim = sim
@@ -28,6 +28,9 @@ class NodeSim:
             telemetry if telemetry is not None else sim.telemetry
         )
         self.faults = faults if faults is not None else sim.faults
+        # One shared recorder: the oracles need a single global event
+        # order across every node (2PC rounds span shards).
+        self.check = sim.check
 
     @property
     def now(self):

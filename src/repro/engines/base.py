@@ -135,6 +135,7 @@ class Engine:
         self.tracer = tracer
         self.telemetry = sim.telemetry
         self.faults = sim.faults
+        self.check = sim.check
         self.n_workers = n_workers
         self.retry_policy = retry_policy or RetryPolicy(max_attempts=1)
         self.retry_rng = retry_rng
@@ -199,6 +200,8 @@ class Engine:
             branch.ctx.abort_reason = "shed"
             self._count_abort("shed")
             self._t_shed.inc()
+            if self.check.enabled:
+                self.check.branch_vote(branch.ctx, False, "shed")
             branch.prepared.fire(False)
             return False
         self.queue.put(branch)
@@ -223,6 +226,7 @@ class Engine:
         faults = self.faults
         tracer = self.tracer
         policy = self.retry_policy
+        check = self.check
         # Engines that keep the stock retry loop get it inlined here —
         # one generator frame fewer on every resume of the run's hottest
         # delegation chain.  The inline block below is ``_execute``'s
@@ -274,6 +278,8 @@ class Engine:
                         reason = "deadline"
                         break
                 ctx.abort_reason = None
+                if check.enabled:
+                    check.begin_attempt(ctx)
                 ok = yield from self._attempt(worker, ctx, spec)
                 if ok:
                     committed = True
@@ -296,6 +302,7 @@ class Engine:
         """
         tracer = self.tracer
         policy = self.retry_policy
+        check = self.check
         tracer.begin_transaction(ctx)
         committed = False
         reason = None
@@ -312,6 +319,8 @@ class Engine:
                     reason = "deadline"
                     break
             ctx.abort_reason = None
+            if check.enabled:
+                check.begin_attempt(ctx)
             ok = yield from self._attempt(worker, ctx, spec)
             if ok:
                 committed = True
@@ -345,6 +354,7 @@ class Engine:
         """
         ctx = branch.ctx
         faults = self.faults
+        check = self.check
         if faults.enabled:
             restart = faults.worker_crash(self.name, worker.worker_id)
             if restart is not None:
@@ -358,6 +368,8 @@ class Engine:
                 branch.reason = "crash"
                 ctx.abort_reason = "crash"
                 self._count_abort("crash")
+                if check.enabled:
+                    check.branch_vote(ctx, False, "crash")
                 branch.prepared.fire(False)
                 yield restart
                 return
@@ -369,20 +381,28 @@ class Engine:
             branch.reason = reason
             self._count_abort(reason)
             yield from self._branch_release(ctx, branch)
+            if check.enabled:
+                check.branch_vote(ctx, False, reason)
             branch.prepared.fire(False)
             return
         yield from self._branch_prepare(ctx, branch)
         branch.vote = True
+        if check.enabled:
+            check.branch_vote(ctx, True)
         branch.prepared.fire(True)
         yield WaitEvent(branch.decision)
         commit = bool(branch.decision.value)
         if commit:
             yield from self._branch_commit(ctx, branch)
+            if check.enabled:
+                check.branch_sealed(ctx)
             self.telemetry.counter(self.name + ".branches_committed").inc()
         else:
             branch.reason = branch.reason or "remote_abort"
             self.telemetry.counter(self.name + ".branches_aborted").inc()
         yield from self._branch_release(ctx, branch)
+        if check.enabled:
+            check.branch_finished(ctx, commit)
         branch.done.fire(commit)
 
     def _branch_execute(self, worker, ctx, branch):
@@ -451,6 +471,8 @@ class Engine:
         carries per-type tails (NewOrder vs Payment ...) without keeping
         per-transaction samples.
         """
+        if self.check.enabled:
+            self.check.finish(ctx, committed)
         tm = self.telemetry
         if not tm.enabled:
             return

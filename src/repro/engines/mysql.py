@@ -245,6 +245,7 @@ class MySQLEngine(Engine):
         rng = self.rng
         catalog = self.catalog
         traced = self.tracer.traced
+        check = self.check
         for op in spec.ops:
             # Parse/plan/execute CPU runs on a finite core set: near
             # saturation, CPU queueing stretches statements and therefore
@@ -267,6 +268,8 @@ class MySQLEngine(Engine):
                 yield from self.lockmgr.release_all_timed(ctx)
                 return False
             redo_bytes += table.redo_bytes(op.kind)
+            if check.enabled:
+                check.record_op(ctx, op, op.lock is not None)
         yield from self.tracer.traced(
             ctx, "innobase_commit", self._commit(ctx, redo_bytes)
         )
@@ -290,6 +293,7 @@ class MySQLEngine(Engine):
         """
         redo_bytes = 0
         sim = self.sim
+        check = self.check
         cpu = self.cpu
         busy = cpu._busy_until
         sample = self._stmt_cpu_dist.sample
@@ -458,6 +462,8 @@ class MySQLEngine(Engine):
                 else:
                     yield index_obj.insert_cpu_cost
             redo_bytes += table.redo_bytes(kind)
+            if check.enabled:
+                check.record_op(ctx, op, op.lock is not None)
         # innobase_commit (_commit), inline.
         yield self.config.commit_cpu
         if redo_bytes:
@@ -585,6 +591,7 @@ class MySQLEngine(Engine):
         rng = self.rng
         catalog = self.catalog
         traced = self.tracer.traced
+        check = self.check
         for op in branch.spec.ops:
             yield from consume(sample(rng))
             table = catalog[op.table]
@@ -603,6 +610,8 @@ class MySQLEngine(Engine):
             if not ok:
                 return False
             redo_bytes += table.redo_bytes(op.kind)
+            if check.enabled:
+                check.record_op(ctx, op, op.lock is not None)
         branch.redo_bytes = redo_bytes
         return True
 

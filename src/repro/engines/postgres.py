@@ -169,6 +169,7 @@ class PostgresEngine(Engine):
     def _portal_run(self, ctx, spec):
         predicate_locks = 0
         redo_bytes = 0
+        check = self.check
         for op in spec.ops:
             table = self.catalog[op.table]
             ok, locks = yield from self.tracer.traced(
@@ -179,6 +180,8 @@ class PostgresEngine(Engine):
                 return False
             predicate_locks += locks
             redo_bytes += table.redo_bytes(op.kind)
+            if check.enabled:
+                check.record_op(ctx, op, op.lock is not None)
         yield from self.tracer.traced(
             ctx,
             "CommitTransaction",
@@ -278,6 +281,7 @@ class PostgresEngine(Engine):
         commit and minus lock release."""
         predicate_locks = 0
         redo_bytes = 0
+        check = self.check
         for op in branch.spec.ops:
             table = self.catalog[op.table]
             ok, locks = yield from self.tracer.traced(
@@ -287,6 +291,8 @@ class PostgresEngine(Engine):
                 return False
             predicate_locks += locks
             redo_bytes += table.redo_bytes(op.kind)
+            if check.enabled:
+                check.record_op(ctx, op, op.lock is not None)
         branch.redo_bytes = redo_bytes
         branch.predicate_locks = predicate_locks
         return True

@@ -104,6 +104,15 @@ class VoltDBEngine(Engine):
         yield init_time
         yield run_time
         ctx.end_interval()
+        check = self.check
+        if check.enabled:
+            # Single-threaded-per-partition execution: the whole
+            # transaction runs (and commits) atomically at this instant,
+            # so its reads observe committed state as of now and no
+            # record locks exist to report.
+            check.begin_attempt(ctx)
+            for op in spec.ops:
+                check.record_op(ctx, op, False)
         root_key = ("transaction", "<root>")
         proc_key = ("execute_procedure", "transaction")
         tracer.record(ctx, QUEUE_WAIT, queue_wait, parent=root_key)

@@ -289,3 +289,60 @@ def named_plan(name, **overrides):
             % (name, ", ".join(sorted(NAMED_PLANS)))
         )
     return factory(**overrides)
+
+
+#: Fault classes the chaos fuzzer draws from.  Network kinds only make
+#: sense on clustered topologies; the fuzzer filters by shard count.
+FUZZ_FAULT_KINDS = (
+    "brownout",
+    "io-errors",
+    "crashes",
+    "lock-storm",
+    "burst",
+)
+
+FUZZ_NETWORK_FAULT_KINDS = ("net-delay", "partition")
+
+
+def random_plan_kwargs(rng, kind, horizon_us):
+    """Draw :class:`FaultPlan` constructor kwargs for one fuzz case.
+
+    ``rng`` is a seeded ``random.Random``; ``horizon_us`` is the run's
+    expected length in virtual microseconds, so drawn windows actually
+    overlap the run.  Returns a plain-literal kwargs dict — the fuzzer
+    embeds its ``repr`` verbatim in generated pytest reproducers, which
+    is why values are rounded to keep the source readable.
+    """
+
+    def window():
+        start = round(rng.uniform(0.0, 0.5) * horizon_us, 1)
+        duration = round(max(1.0, rng.uniform(0.1, 0.4) * horizon_us), 1)
+        return (start, duration)
+
+    if kind == "brownout":
+        return {
+            "brownout_windows": (window(),),
+            "brownout_factor": round(rng.uniform(2.0, 10.0), 2),
+        }
+    if kind == "io-errors":
+        return {"io_error_prob": round(rng.uniform(0.005, 0.05), 4)}
+    if kind == "crashes":
+        return {"crash_prob": round(rng.uniform(0.002, 0.02), 4)}
+    if kind == "lock-storm":
+        return {
+            "lock_storm_windows": (window(),),
+            "lock_storm_timeout": round(rng.uniform(1_000.0, 5_000.0), 1),
+        }
+    if kind == "burst":
+        return {
+            "burst_windows": (window(),),
+            "burst_rate_factor": round(rng.uniform(2.0, 5.0), 2),
+        }
+    if kind == "net-delay":
+        return {
+            "net_delay_windows": (window(),),
+            "net_delay_factor": round(rng.uniform(2.0, 8.0), 2),
+        }
+    if kind == "partition":
+        return {"partition_windows": (window(),)}
+    raise ValueError("unknown fuzz fault kind %r" % (kind,))

@@ -136,6 +136,7 @@ class LockManager:
         self.bookkeeping_per_entry = bookkeeping_per_entry
         self.head_scan_fraction = head_scan_fraction
         self.lock_sys_mutex = Mutex(sim, name="lock_sys") if bookkeeping else None
+        self._check = sim.check
         self._objects = {}
         self._held = {}
         self._waiting_request = {}
@@ -346,6 +347,8 @@ class LockManager:
         Also cancels any still-waiting request (abort path) and runs the
         grant pass on each touched object.
         """
+        if self._check.enabled:
+            self._check.locks_released(ctx, self.sim.now)
         waiting = self._waiting_request.pop(ctx, None)
         objects = self._objects
         objects_get = objects.get
@@ -436,6 +439,13 @@ class LockManager:
             held[request.obj_id] = LockMode.X
         else:
             held.setdefault(request.obj_id, request.mode)
+        if self._check.enabled:
+            self._check.lock_granted(
+                request.txn,
+                request.obj_id,
+                held[request.obj_id].value,
+                request.upgrade,
+            )
         if request.event is not None and not request.event.fired:
             request.event.fire()
 

@@ -49,6 +49,7 @@ import math
 from collections import deque
 from heapq import heappop, heappush
 
+from repro.check.recorder import NO_CHECK
 from repro.faults.injector import NO_FAULTS
 from repro.telemetry.registry import NULL_REGISTRY
 
@@ -202,6 +203,9 @@ class Simulator:
         self.current = None
         self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
         self.faults = faults if faults is not None else NO_FAULTS
+        # The run's history recorder (repro.check); the null object by
+        # default, so checking off costs one attribute and nothing else.
+        self.check = NO_CHECK
         self.dispatch_count = 0
         self._heap = []
         # Wakeups due at the current virtual time, in schedule order.

@@ -17,6 +17,7 @@ clamp, which landed here and in the fast kernel together).
 import math
 from heapq import heappop, heappush
 
+from repro.check.recorder import NO_CHECK
 from repro.faults.injector import NO_FAULTS
 from repro.telemetry.registry import NULL_REGISTRY
 
@@ -46,6 +47,9 @@ class ReferenceSimulator:
         self.current = None
         self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
         self.faults = faults if faults is not None else NO_FAULTS
+        # The run's history recorder (repro.check); the null object by
+        # default, so checking off costs one attribute and nothing else.
+        self.check = NO_CHECK
         self.dispatch_count = 0
         self._heap = []
         self._seq = 0

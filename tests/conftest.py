@@ -6,6 +6,18 @@ from repro.sim.kernel import Simulator
 from repro.sim.rand import Streams
 
 
+def pytest_collection_modifyitems(config, items):
+    # The 25-seed fuzz sweep is the CI check-smoke budget, not part of
+    # the default suite; run it explicitly with ``-m fuzz_smoke`` (same
+    # pattern as perf_bench in benchmarks/conftest.py).
+    if config.getoption("-m"):
+        return
+    skip = pytest.mark.skip(reason="fuzz sweep; run with -m fuzz_smoke")
+    for item in items:
+        if "fuzz_smoke" in item.keywords:
+            item.add_marker(skip)
+
+
 @pytest.fixture
 def sim():
     return Simulator()

@@ -8,6 +8,7 @@ from repro.bench.compare import ratios
 from repro.bench.profiled import EngineProfiledSystem
 from repro.bench.runner import run_experiment
 from repro.core.profiler import TProfiler
+from repro.faults import named_plan
 
 # Miniature run length: big enough for stable direction, small enough
 # for the test suite.  The full-size runs live in benchmarks/.
@@ -107,6 +108,35 @@ class TestVoltDBIntegration:
         r = ratios(two.latencies, eight.latencies)
         assert r["mean"] > 1.5
         assert r["variance"] > 1.5
+
+
+class TestOutcomeAccounting:
+    def test_every_transaction_accounted_for(self):
+        """Every submitted transaction ends in exactly one bucket, even
+        under load shedding and injected faults.  Closes the old gap
+        where shed/failed/committed counts could only be cross-checked
+        through separate engine counters."""
+        config = pc.mysql_128wh_experiment(
+            "FCFS", n_txns=600, max_queue_depth=2, n_workers=8
+        ).replaced(
+            fault_plan=named_plan("io-errors", io_error_prob=0.05),
+            check=True,
+        )
+        result = run_experiment(config)
+        counts = result.outcome_counts
+        assert sum(counts.values()) == config.n_txns
+        assert counts.get("shed", 0) == result.shed_txns
+        assert counts.get("committed", 0) + result.failed_txns == config.n_txns
+        # The bounded per-txn listing agrees with the exact aggregates.
+        outcomes = result.txn_outcomes
+        assert len(outcomes) == config.n_txns
+        tally = {}
+        for _txn_id, _txn_type, outcome in outcomes:
+            tally[outcome] = tally.get(outcome, 0) + 1
+        assert tally == counts
+        # This config actually exercises the shed and fault paths.
+        assert counts.get("shed", 0) > 0
+        assert result.check_report() == []
 
 
 class TestProfilerIntegration:
