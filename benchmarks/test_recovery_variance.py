@@ -1,0 +1,125 @@
+"""Recovery cost appearing in the variance tree, scaling with the WAL.
+
+The paper's methodology demands that anything moving latency variance
+show up as a factor in the tree; crash recovery is no exception.  Two
+mechanisms, each with a knob that provably drives it:
+
+- **Redo replay** (``recovery_replay``): a crashed node replays its
+  durable WAL as sequential disk reads before accepting work, so
+  transactions arriving during the outage wait behind the replay.  The
+  later the crash, the longer the accumulated WAL, the longer the
+  replay — replayed bytes, node downtime and the ``recovery_replay``
+  variance share must all rise monotonically with the crash instant.
+- **In-doubt stalls** (``indoubt_wait``): a crashed 2PC coordinator
+  leaves decided-but-unnotified rounds blocked until it returns and
+  re-drives them, so the stall scales with the coordinator's downtime
+  (restart delay + decision-log replay).
+
+Both are smoke benchmarks (``smoke_bench``): tiny deterministic runs,
+monotonicity asserted exactly — no statistical slack needed because the
+same seed replays byte-identically.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.runner import ExperimentConfig, run_experiment
+from repro.core.variance_tree import VarianceTree
+from repro.faults.plan import FaultPlan
+
+pytestmark = pytest.mark.smoke_bench
+
+N_TXNS = 400
+
+
+def recovery_config(plan=None, **overrides):
+    # Two shards with moderate cross-shard traffic: node crashes hit a
+    # real WAL and coordinator crashes strand real 2PC rounds.  No
+    # warmup discard — recovery effects near the crash must stay in the
+    # measurement set.
+    fields = dict(
+        engine="mysql",
+        workload="tpcc",
+        workload_kwargs={"warehouses": 16, "remote_payment_prob": 0.3},
+        seed=31,
+        n_txns=N_TXNS,
+        rate_tps=400.0,
+        warmup_fraction=0.0,
+        num_shards=2,
+        fault_plan=plan,
+    )
+    fields.update(overrides)
+    return ExperimentConfig(**fields)
+
+
+def _recovered_event(result):
+    for line in result.event_log_jsonl().splitlines():
+        if '"node.recovered"' in line:
+            return json.loads(line)
+    raise AssertionError("run never recovered a node")
+
+
+def test_recovery_replay_share_grows_with_wal_length():
+    """Crash later => more durable WAL => longer replay => bigger
+    ``recovery_replay`` slice.  All three must rise monotonically."""
+    rows = []
+    for crash_at in (100_000.0, 250_000.0, 500_000.0, 800_000.0):
+        plan = FaultPlan(name="bench-crash", node_crash_times=((0, crash_at),))
+        result = run_experiment(recovery_config(plan))
+        event = _recovered_event(result)
+        share = VarianceTree(result.traces).name_shares().get(
+            "recovery_replay", 0.0
+        )
+        rows.append((crash_at, event["replayed_bytes"], event["downtime"], share))
+    print()
+    for crash_at, replayed, downtime, share in rows:
+        print(
+            "  crash@%8.0fus  wal=%7d B  downtime=%7.1fus  "
+            "recovery_replay share=%.4f%%"
+            % (crash_at, replayed, downtime, 100.0 * share)
+        )
+    for earlier, later in zip(rows, rows[1:]):
+        assert later[1] > earlier[1], "WAL must grow with the crash instant"
+        assert later[2] > earlier[2], "replay downtime must grow with the WAL"
+        assert later[3] > earlier[3], (
+            "recovery_replay variance share must grow with the WAL: %r" % (rows,)
+        )
+    assert rows[0][3] > 0.0, "replay must appear in the tree at all"
+
+
+def test_indoubt_wait_share_grows_with_coordinator_downtime():
+    """Crash the coordinator in the decision-log/notification window;
+    the stranded rounds' ``indoubt_wait`` share scales with downtime."""
+    baseline = run_experiment(recovery_config(check=True))
+    decisions = sorted(
+        rnd.decision[2]
+        for rnd in baseline.history.rounds
+        if rnd.decision is not None
+    )
+    assert decisions, "fixture must exercise 2PC"
+    crash_at = round(decisions[len(decisions) // 2] + 0.5, 1)
+    rows = []
+    for delay in (5_000.0, 20_000.0, 80_000.0):
+        plan = FaultPlan(
+            name="bench-coord-crash",
+            node_crash_times=(("coord", crash_at),),
+            node_restart_delay=delay,
+        )
+        result = run_experiment(recovery_config(plan))
+        share = VarianceTree(result.traces).name_shares().get(
+            "indoubt_wait", 0.0
+        )
+        rows.append((delay, share))
+    print()
+    print("  coordinator crash at %.1fus" % (crash_at,))
+    for delay, share in rows:
+        print(
+            "  restart_delay=%7.0fus  indoubt_wait share=%.4f%%"
+            % (delay, 100.0 * share)
+        )
+    assert rows[0][1] > 0.0, "in-doubt stall must appear in the tree"
+    for (_d0, earlier), (_d1, later) in zip(rows, rows[1:]):
+        assert later > earlier, (
+            "indoubt_wait share must grow with downtime: %r" % (rows,)
+        )

@@ -264,10 +264,15 @@ class RunResult:
         faults = self.sim.faults
         if not faults.enabled:
             return {}
-        return {
+        counts = {
             "io_errors": faults.io_errors,
             "worker_crashes": faults.worker_crashes,
         }
+        # Only plans that schedule node crashes report the key, so every
+        # pre-recovery fault golden stays byte-identical.
+        if faults.plan.node_crash_times:
+            counts["node_crashes"] = faults.node_crashes
+        return counts
 
     # -- correctness checking (repro.check) ----------------------------
 
@@ -361,6 +366,18 @@ def run_experiment(config, simulator_cls=None):
         engine = engine_cls(
             sim, tracer, workload, streams, config=config.engine_config
         )
+    if plan is not None and plan.node_crash_times:
+        # Crash-recovery runs surface replay and in-doubt stalls as
+        # variance-tree frames; crash-free plans never reach this, so
+        # tracer fast paths (and goldens) are untouched.
+        from repro.recovery import RECOVERY_FRAMES, crash_controller
+
+        tracer.instrumented.update(RECOVERY_FRAMES)
+        if config.is_clustered:
+            controller = crash_controller(sim, plan, cluster=engine)
+        else:
+            controller = crash_controller(sim, plan, engine=engine)
+        sim.spawn(controller, name="recovery.controller")
     driver = LoadDriver(
         sim,
         engine,

@@ -122,6 +122,26 @@ class BufferPool:
     def contains(self, page_id):
         return page_id in self._pages
 
+    def crash(self):
+        """Whole-node crash: every cached page is gone (cold restart).
+
+        The pool restarts empty — no prewarm; the first transactions
+        after recovery pay miss-path disk reads, which is part of the
+        crash's latency footprint.  The pool mutex is reset directly
+        (``release`` would refuse: its holder died with the worker pool)
+        and parked waiters are dropped — they are dead processes.
+        """
+        self._pages.clear()
+        self._lru = LRUList(
+            self.config.capacity_pages,
+            old_ratio=self.config.old_ratio,
+            young_reorder_depth=self.config.young_reorder_depth,
+        )
+        mutex = self.mutex._mutex if self.config.lazy_lru else self.mutex
+        mutex.holder = None
+        mutex._waiters.clear()
+        self._t_resident.set(0)
+
     def prewarm(self, page_ids):
         """Populate the pool (up to capacity) without virtual time or I/O.
 

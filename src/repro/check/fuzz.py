@@ -6,9 +6,10 @@ workload, scheduler, chaos plan and run seed — via a dedicated
 seed produces the same case and the same violations in any process.
 
 :func:`fuzz_one` runs the case with the oracles on.  On a violation it
-greedily **shrinks**: fewer transactions, then no fault plan, then fewer
-shards — re-running after each candidate and keeping it only if the
-failure survives — and renders the minimal case as a ready-to-paste
+greedily **shrinks**: fewer transactions, then earlier crash instants
+(for node-crash plans), then no fault plan, then fewer shards —
+re-running after each candidate and keeping it only if the failure
+survives — and renders the minimal case as a ready-to-paste
 pytest function (:func:`reproducer_source`).
 
 The engines draw from per-purpose seeded streams, so a shrunk config is
@@ -177,6 +178,17 @@ def _shrink_candidates(case):
     for smaller in (n // 2, n - max(1, n // 4), n - 1):
         if 2 <= smaller < n:
             yield case.replaced(n_txns=smaller)
+    crashes = case.fault_kwargs.get("node_crash_times")
+    if crashes:
+        # Earlier crash instants mean less pre-crash history to wade
+        # through in the reproducer (and a shorter WAL at the crash).
+        halved = tuple(
+            (target, round(t / 2.0, 1)) for target, t in crashes
+        )
+        if halved != tuple((target, t) for target, t in crashes):
+            kwargs = dict(case.fault_kwargs)
+            kwargs["node_crash_times"] = halved
+            yield case.replaced(fault_kwargs=kwargs)
     if case.fault_kwargs:
         yield case.replaced(fault_kind=None, fault_kwargs={})
     if case.num_shards > 2:

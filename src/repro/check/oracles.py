@@ -273,10 +273,60 @@ def check_lock_intervals(history):
     return violations
 
 
+def check_durability(history):
+    """Crash-recovery oracle: commits survive, in-doubt branches resolve.
+
+    For every recorded node crash (``History.crashes``):
+
+    - ``durability-lost-commit`` — a transaction the recorder saw commit
+      before the crash appears in the crash's lost set (its log never
+      became durable).  Structurally impossible under eager-flush
+      policies; under the lazy policies this is the forward-progress
+      risk of Appendix B made into a checkable violation.
+    - ``recovery-unresolved-indoubt`` — a branch that had voted yes at
+      the crash instant never reached a recorded outcome afterwards: the
+      2PC termination protocol leaked a prepared transaction (and its
+      re-granted locks) forever.
+
+    Aborted and in-doubt-resolved-abort transactions leaving no trace is
+    covered jointly with :func:`check_serializability`: only committed
+    records install writes into the replay model, so any surviving
+    effect of an aborted branch shows up as a stale or dirty read there.
+    """
+    violations = []
+    if not history.crashes:
+        return violations
+    branch_recs = {}
+    for txn in history.txns:
+        if txn.gid is not None:
+            branch_recs.setdefault(txn.txn_id, []).append(txn)
+    committed_at = {t.txn_id: t.commit_time for t in history.txns if t.committed}
+    for crash in history.crashes:
+        for txn_id in crash.lost:
+            at = committed_at.get(txn_id)
+            if at is not None and at <= crash.t:
+                violations.append(Violation(
+                    "durability-lost-commit", txn_id,
+                    "reported committed at t=%r but its log was not durable "
+                    "at the crash (t=%r, target %r)"
+                    % (at, crash.t, crash.target),
+                ))
+        for txn_id in crash.indoubt:
+            recs = branch_recs.get(txn_id, ())
+            if not any(r.commit_time >= crash.t for r in recs):
+                violations.append(Violation(
+                    "recovery-unresolved-indoubt", txn_id,
+                    "branch was in doubt at the crash (t=%r, target %r) and "
+                    "never resolved to an outcome" % (crash.t, crash.target),
+                ))
+    return violations
+
+
 def check_all(history):
     """Run every oracle; returns the combined violation list."""
     return (
         check_serializability(history)
         + check_2pc_atomicity(history)
         + check_lock_intervals(history)
+        + check_durability(history)
     )

@@ -148,14 +148,38 @@ class RoundRec:
         )
 
 
+class CrashRec:
+    """One whole-node crash: when, what it erased, what it left in doubt.
+
+    ``lost`` are txn ids whose commits were reported but whose WAL never
+    became durable (the durability oracle flags any that the recorder
+    saw commit); ``indoubt`` are branch txn ids that had voted yes and
+    must eventually resolve to a recorded outcome after recovery.
+    """
+
+    __slots__ = ("target", "t", "lost", "indoubt")
+
+    def __init__(self, target, t, lost=(), indoubt=()):
+        self.target = target
+        self.t = t
+        self.lost = tuple(lost)
+        self.indoubt = tuple(indoubt)
+
+    def __repr__(self):
+        return "<CrashRec %r t=%.1f lost=%d indoubt=%d>" % (
+            self.target, self.t, len(self.lost), len(self.indoubt),
+        )
+
+
 class History:
-    """Everything one run recorded: transaction and 2PC round records."""
+    """Everything one run recorded: transaction, 2PC and crash records."""
 
-    __slots__ = ("txns", "rounds")
+    __slots__ = ("txns", "rounds", "crashes")
 
-    def __init__(self, txns=None, rounds=None):
+    def __init__(self, txns=None, rounds=None, crashes=None):
         self.txns = list(txns or [])
         self.rounds = list(rounds or [])
+        self.crashes = list(crashes or [])
 
     def committed(self):
         """Committed records in commit order (the replay order)."""
@@ -243,8 +267,13 @@ class HistoryRecorder:
             self._seq, self.sim.now, op.kind, op.table, op.key, locked, observed,
         ))
 
-    def finish(self, ctx, committed):
-        """The transaction's final outcome (engine/cluster observe_txn)."""
+    def finish(self, ctx, committed, outcome=None):
+        """The transaction's final outcome (engine/cluster observe_txn).
+
+        ``outcome`` overrides the outcome-count bucket for recovery
+        terminations (``recovered_commit`` / ``resolved_abort``) without
+        changing the committed/aborted semantics of the record itself.
+        """
         p = self._pending.pop(ctx, None) or _Pending()
         self._seq += 1
         reason = None if committed else (ctx.abort_reason or "abort")
@@ -256,7 +285,8 @@ class HistoryRecorder:
         if committed:
             self._install(rec)
         self.history.txns.append(rec)
-        outcome = "committed" if committed else reason
+        if outcome is None:
+            outcome = "committed" if committed else reason
         self.outcome_counts[outcome] = self.outcome_counts.get(outcome, 0) + 1
         if len(self.outcomes) < self.max_outcomes:
             self.outcomes.append((ctx.txn_id, ctx.txn_type, outcome))
@@ -358,6 +388,19 @@ class HistoryRecorder:
         """The branch released everything and reported its outcome."""
         if ctx in self._branch_info:
             self._finish_branch(ctx, committed, None)
+
+    # ------------------------------------------------------------------
+    # Crash hooks (repro.recovery)
+    # ------------------------------------------------------------------
+
+    def node_crash(self, target, now, lost, indoubt):
+        """A whole node died at ``now`` (crash controller hook).
+
+        ``lost`` are txn ids whose reported commits did not survive;
+        ``indoubt`` are prepared branch txn ids awaiting termination.
+        The durability oracle judges both after the run.
+        """
+        self.history.crashes.append(CrashRec(target, now, lost, indoubt))
 
     def _finish_branch(self, ctx, committed, reason):
         rec, shard = self._branch_info.pop(ctx)

@@ -121,6 +121,20 @@ class Cluster:
         self._draining = False
         self._inflight = 0
         self._idle = None
+        # Crash-recovery state (repro.recovery).  ``_procs`` tracks every
+        # coordinator-side process so a coordinator crash can kill them;
+        # ``_live`` maps each in-flight global ctx to what recovery needs
+        # to terminate it; ``_decision_log`` mirrors the *durable*
+        # contents of the coordinator's log disk (appended only after the
+        # forced flush completes, with no yield in between, so its
+        # in-memory copy can never run ahead of the device); ``_down``
+        # makes submissions fail fast while the coordinator is dead.
+        # All four are pure-Python state: a run without a planned
+        # coordinator crash executes the same instruction sequence.
+        self._procs = []
+        self._live = {}
+        self._decision_log = []
+        self._down = False
         # Coordinator-level give-ups (cross-shard transactions that
         # exhausted their retries); per-attempt aborts are counted on the
         # participant nodes, so the merged views below never double count.
@@ -149,24 +163,47 @@ class Cluster:
         """
         if self._draining:
             raise RuntimeError("submit after drain on cluster")
+        if self._down:
+            # The coordinator is dead: connections fail fast — clients
+            # see an explicit error instead of queueing on a dead
+            # endpoint (node queues, by contrast, survive their node's
+            # crash and simply wait out the restart).
+            self._fail_txn(ctx, "coord_down")
+            return False
         groups = self.router.split(spec)
         self._inflight += 1
         if len(groups) == 1:
             shard = next(iter(groups))
             self.single_home_txns += 1
             self._t_single_home.inc()
-            self.sim.spawn(
+            self._live[ctx] = {"kind": "single"}
+            self._spawn(
                 self._single_home(ctx, spec, self.nodes[shard]),
-                name="coord.txn%s" % (ctx.txn_id,),
+                "coord.txn%s" % (ctx.txn_id,),
             )
         else:
             self.cross_shard_txns += 1
             self._t_cross_shard.inc()
-            self.sim.spawn(
+            self._live[ctx] = {
+                "kind": "2pc",
+                "branches": (),
+                "decision": None,
+                "decided": None,
+            }
+            self._spawn(
                 self._coordinate(ctx, groups),
-                name="coord.txn%s" % (ctx.txn_id,),
+                "coord.txn%s" % (ctx.txn_id,),
             )
         return True
+
+    def _spawn(self, gen, name):
+        """Spawn a coordinator-side process, tracked for crash kills."""
+        proc = self.sim.spawn(gen, name=name)
+        procs = self._procs
+        procs.append(proc)
+        if len(procs) > 512:
+            self._procs = [p for p in procs if not p.done.fired]
+        return proc
 
     def drain(self):
         """No more submissions; nodes drain once 2PC traffic quiesces.
@@ -176,7 +213,7 @@ class Cluster:
         in-flight coordinator has finished.
         """
         self._draining = True
-        self.sim.spawn(self._drain_when_idle(), name="cluster.drain")
+        self._spawn(self._drain_when_idle(), "cluster.drain")
 
     @property
     def queue_depth(self):
@@ -200,12 +237,18 @@ class Cluster:
     # ------------------------------------------------------------------
 
     def _single_home(self, ctx, spec, node):
+        # Once submit() returns, the home node owns the whole lifecycle;
+        # there is no yield between the hand-off and the cleanup below,
+        # so a coordinator crash can only catch this process *before* the
+        # hand-off (mid network send) — recovery then fails the txn with
+        # ``coord_crash``.
         try:
             yield from self.network.send(
                 self.COORD, node.node_id, self.topology.request_bytes
             )
             node.engine.submit(ctx, spec)
         finally:
+            self._live.pop(ctx, None)
             self._txn_done()
 
     # ------------------------------------------------------------------
@@ -241,6 +284,7 @@ class Cluster:
             tracer.end_transaction(ctx, committed)
             self.observe_txn(ctx, committed)
         finally:
+            self._live.pop(ctx, None)
             self._txn_done()
 
     def _attempt_2pc(self, ctx, groups):
@@ -261,15 +305,21 @@ class Cluster:
             check.twopc_begin(
                 ctx, [(branch.ctx, branch.node_id) for branch in branches]
             )
+        live = self._live.get(ctx)
+        if live is not None:
+            # A fresh round supersedes the previous one for termination:
+            # these are the branches a recovering coordinator must drive.
+            live["branches"] = branches
+            live["decided"] = None
         # Phase 1 — prepare: one courier per branch carries the request
         # out and the vote back; the couriers overlap, the coordinator
         # pays the slowest.
         arrivals = []
         for branch in branches:
             arrived = sim.event()
-            sim.spawn(
+            self._spawn(
                 self._prepare_branch(branch, arrived),
-                name="coord.prep.%s" % (branch.ctx.txn_id,),
+                "coord.prep.%s" % (branch.ctx.txn_id,),
             )
             arrivals.append(arrived)
         started = sim.now
@@ -280,10 +330,18 @@ class Cluster:
         self.tracer.record(ctx, "dist_prepare_wait", prepare_wait, site="cluster")
         commit = all(branch.vote for branch in branches)
         # The decision point: force the outcome to the coordinator log
-        # before telling anyone (presumed-nothing 2PC).
+        # before telling anyone (presumed-nothing 2PC).  Everything from
+        # the completed flush to the bookkeeping below runs without a
+        # yield, so a crash can never separate the durable record from
+        # the in-memory mirror recovery replays.
         if self.coord_disk is not None:
             yield from self.coord_disk.write(topology.decision_bytes)
             yield from self.coord_disk.flush()
+            self._decision_log.append((ctx.txn_id, commit))
+            if live is not None:
+                live["decision"] = commit
+        if live is not None:
+            live["decided"] = commit
         if check.enabled:
             check.twopc_decision(
                 ctx, commit, logged=True if self.coord_disk is not None else None
@@ -296,9 +354,9 @@ class Cluster:
             if not branch.vote:
                 continue
             acked = sim.event()
-            sim.spawn(
+            self._spawn(
                 self._decide_branch(branch, commit, acked),
-                name="coord.decide.%s" % (branch.ctx.txn_id,),
+                "coord.decide.%s" % (branch.ctx.txn_id,),
             )
             acks.append(acked)
         for acked in acks:
@@ -357,12 +415,203 @@ class Cluster:
                     per_child[child_key] = per_child.get(child_key, 0.0) + value
 
     # ------------------------------------------------------------------
+    # Coordinator crash and recovery (repro.recovery)
+    # ------------------------------------------------------------------
+
+    def crash_coordinator(self):
+        """Kill the coordinator at this instant; returns the live map.
+
+        Every coordinator-side process dies (retry loops, prepare and
+        decide couriers, the drain watcher); only the decision-log disk
+        contents survive.  No virtual time passes and nothing random is
+        drawn.  The returned ``{ctx: rec}`` map is what
+        :meth:`recover_coordinator` terminates — it is handed over
+        explicitly rather than kept, mirroring how an engine's crash
+        report flows into its recovery.
+        """
+        for proc in self._procs:
+            if not proc.done.fired:
+                proc.done.fire()
+        del self._procs[:]
+        live, self._live = self._live, {}
+        self._down = True
+        self._idle = None
+        return live
+
+    def recover_coordinator(self, live, crash_time):
+        """Generator: decision-log replay + the 2PC termination protocol.
+
+        Replays the durable decision log as sequential reads, then
+        terminates every transaction the dead coordinator left behind:
+
+        - single-home transactions still mid-hand-off fail with
+          ``coord_crash`` (the client's connection died with the
+          coordinator; handed-off ones were already owned by their node);
+        - cross-shard rounds with a logged (or participant-known) commit
+          decision are re-driven to completion — outcome
+          ``recovered_commit``;
+        - everything else is presumed abort: undecided branches are told
+          to abort, and the transaction fails with ``resolved_abort``.
+
+        Only then does the coordinator accept new work again.
+        """
+        if self.coord_disk is not None and self._decision_log:
+            yield from self.coord_disk.read_sequential(
+                len(self._decision_log) * self.topology.decision_bytes
+            )
+        for ctx, rec in live.items():
+            if rec["kind"] == "single":
+                self._fail_txn(ctx, "coord_crash")
+                self._txn_done()
+                continue
+            yield from self._terminate_round(ctx, rec, crash_time)
+            self._txn_done()
+        self._down = False
+        if self._draining:
+            self._spawn(self._drain_when_idle(), "cluster.drain")
+        self.telemetry.event(
+            "cluster.coordinator_recovered",
+            terminated=len(live),
+            log_records=len(self._decision_log),
+        )
+
+    def _terminate_round(self, ctx, rec, crash_time):
+        """Generator: terminate one orphaned 2PC transaction."""
+        branches = rec.get("branches") or ()
+        decision = rec.get("decision")
+        if decision is None:
+            # Cooperative termination: a participant that already heard
+            # the outcome is as good as the log (only possible mid
+            # phase 2, when the decision was durable or there is no log).
+            for branch in branches:
+                if branch.decision.fired:
+                    decision = bool(branch.decision.value)
+                    break
+        if decision:
+            yield from self._redrive_commit(ctx, branches, crash_time)
+            return
+        # Presumed abort: no commit decision survives, so there isn't
+        # one.  Record the abort decision for the live round unless the
+        # round had already recorded one before the crash.
+        if self.check.enabled and rec.get("decided") is None:
+            self.check.twopc_decision(ctx, False, logged=None)
+        topology = self.topology
+        for branch in branches:
+            if branch.done.fired or branch.decision.fired:
+                continue
+            if branch.prepared.fired and not branch.vote:
+                continue  # voted no; already released and left
+            if branch.prepared.fired:
+                # A prepared participant is parked holding locks: pay the
+                # decision hop that releases it.
+                yield from self.network.send(
+                    self.COORD, branch.node_id, topology.decision_bytes
+                )
+            branch.decision.fire(False)
+        for branch in branches:
+            self._merge_branch_trace(ctx, branch.ctx)
+        self._record_indoubt_wait(ctx, crash_time)
+        self._fail_txn(ctx, "resolved_abort", outcome="resolved_abort")
+
+    def _redrive_commit(self, ctx, branches, crash_time):
+        """Generator: re-drive a logged commit decision to its branches.
+
+        A logged commit implies unanimous yes votes, so every branch is
+        (or will be) parked on its decision event; crashed participants
+        resolve through their own in-doubt path once their node rejoins.
+        """
+        topology = self.topology
+        redriven = []
+        for branch in branches:
+            if branch.done.fired:
+                continue
+            if not branch.decision.fired:
+                yield from self.network.send(
+                    self.COORD, branch.node_id, topology.decision_bytes
+                )
+                branch.decision.fire(True)
+            redriven.append(branch)
+        for branch in redriven:
+            if not branch.done.fired:
+                yield WaitEvent(branch.done)
+            yield from self.network.send(
+                branch.node_id, self.COORD, topology.ack_bytes
+            )
+        for branch in branches:
+            self._merge_branch_trace(ctx, branch.ctx)
+        self._record_indoubt_wait(ctx, crash_time)
+        del ctx.stack[:]
+        self.tracer.begin_transaction(ctx)
+        self.tracer.end_transaction(ctx, committed=True)
+        self.observe_txn(ctx, True, outcome="recovered_commit")
+
+    def _record_indoubt_wait(self, ctx, crash_time):
+        if "indoubt_wait" in self.tracer.instrumented:
+            dt = self.sim.now - crash_time
+            if dt > 0.0:
+                self.tracer.record(ctx, "indoubt_wait", dt, site="recovery")
+
+    def _fail_txn(self, ctx, reason, outcome=None):
+        """Fail one transaction on the coordinator's behalf."""
+        ctx.abort_reason = reason
+        self.retry_policy.note_give_up(reason)
+        self.coord_failed_by_reason[reason] = (
+            self.coord_failed_by_reason.get(reason, 0) + 1
+        )
+        self.telemetry.counter("cluster.failed.%s" % (reason,)).inc()
+        del ctx.stack[:]
+        self.tracer.begin_transaction(ctx)
+        self.tracer.end_transaction(ctx, committed=False)
+        self.observe_txn(ctx, False, outcome=outcome)
+
+    def resolve_indoubt(self, node, branch, crash_time):
+        """Generator: in-doubt resolution for one restarted participant.
+
+        Spawned per in-doubt branch by the crash controller after the
+        branch's node rejoins (its locks were re-granted during
+        recovery).  The participant re-sends its yes vote to the
+        coordinator, waits for the decision if it is still outstanding,
+        and then runs exactly the tail :meth:`Engine._run_branch` would
+        have run: commit record + seal on commit, release, done.  Firing
+        ``done`` is also what unparks the coordinator's decide courier,
+        whose ack then completes the global transaction.
+        """
+        engine = node.engine
+        topology = self.topology
+        ctx = branch.ctx
+        check = self.check
+        yield from self.network.send(node.node_id, self.COORD, topology.vote_bytes)
+        if not branch.decision.fired:
+            yield WaitEvent(branch.decision)
+        yield from self.network.send(
+            self.COORD, node.node_id, topology.decision_bytes
+        )
+        if "indoubt_wait" in self.tracer.instrumented:
+            dt = self.sim.now - crash_time
+            if dt > 0.0:
+                self.tracer.record(ctx, "indoubt_wait", dt, site="recovery")
+        commit = bool(branch.decision.value)
+        if commit:
+            yield from engine._branch_commit(ctx, branch)
+            if check.enabled:
+                check.branch_sealed(ctx)
+            engine.telemetry.counter(engine.name + ".branches_committed").inc()
+        else:
+            branch.reason = branch.reason or "remote_abort"
+            engine.telemetry.counter(engine.name + ".branches_aborted").inc()
+        yield from engine._branch_release(ctx, branch)
+        if check.enabled:
+            check.branch_finished(ctx, commit)
+        if not branch.done.fired:
+            branch.done.fire(commit)
+
+    # ------------------------------------------------------------------
     # Accounting (RunResult protocol)
     # ------------------------------------------------------------------
 
-    def observe_txn(self, ctx, committed):
+    def observe_txn(self, ctx, committed, outcome=None):
         if self.check.enabled:
-            self.check.finish(ctx, committed)
+            self.check.finish(ctx, committed, outcome=outcome)
         tm = self.telemetry
         if committed:
             self._t_committed.inc()

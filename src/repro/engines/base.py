@@ -102,15 +102,58 @@ class Branch:
 
 
 class Worker:
-    """One server thread: identity + thread-local state."""
+    """One server thread: identity + thread-local state.
 
-    __slots__ = ("worker_id", "llu_backlog", "txns_executed", "crashes")
+    ``current`` tracks the dequeued item the worker is processing right
+    now (a ``(ctx, spec)`` pair or a :class:`Branch`), so a whole-node
+    crash (``repro.recovery``) can account for in-flight work.  It is a
+    pure-Python assignment on the worker loop — no draws, no virtual
+    time — so maintaining it never perturbs a fault-free run.
+    """
+
+    __slots__ = ("worker_id", "llu_backlog", "txns_executed", "crashes", "current")
 
     def __init__(self, worker_id):
         self.worker_id = worker_id
         self.llu_backlog = []
         self.txns_executed = 0
         self.crashes = 0
+        self.current = None
+
+
+class NodeCrashReport:
+    """What a whole-node crash destroyed and what must be resolved.
+
+    Produced by :meth:`Engine.crash` at the crash instant and consumed by
+    :meth:`Engine.recover` (and, for 2PC, by the cluster's termination
+    protocol in ``repro.recovery``):
+
+    - ``lost``: txn ids that were reported committed but whose WAL was
+      not yet durable — the forward progress the crash erased (empty
+      under eager-flush policies; the durability oracle flags any entry
+      that the recorder saw commit).
+    - ``indoubt``: ``(branch, held_locks)`` pairs for participant
+      branches that voted yes and were awaiting (or mid-applying) the
+      global decision.  Their prepare records are durable, so recovery
+      re-grants their locks and re-contacts the coordinator.
+    - ``wal_bytes``: bytes of durable WAL replayed during recovery
+      (filled in by :meth:`Engine.recover`).
+    """
+
+    __slots__ = ("crash_time", "lost", "indoubt", "wal_bytes")
+
+    def __init__(self, crash_time):
+        self.crash_time = crash_time
+        self.lost = ()
+        self.indoubt = []
+        self.wal_bytes = 0
+
+    def __repr__(self):
+        return "<NodeCrashReport t=%.1f lost=%d indoubt=%d>" % (
+            self.crash_time,
+            len(self.lost),
+            len(self.indoubt),
+        )
 
 
 class Engine:
@@ -237,8 +280,10 @@ class Engine:
             item = yield from self.queue.get()
             if item is _Shutdown:
                 return
+            worker.current = item
             if item.__class__ is Branch:
                 yield from self._run_branch(worker, item)
+                worker.current = None
                 continue
             ctx, spec = item
             if faults.enabled:
@@ -257,10 +302,12 @@ class Engine:
                 and self.sim.now - ctx.birth >= self.txn_deadline
             ):
                 self._give_up(ctx, "deadline")
+                worker.current = None
                 continue
             worker.txns_executed += 1
             if not stock_execute:
                 yield from self._execute(worker, ctx, spec)
+                worker.current = None
                 continue
             tracer.begin_transaction(ctx)
             committed = False
@@ -293,6 +340,7 @@ class Engine:
                 self._count_failed(final)
             tracer.end_transaction(ctx, committed)
             self.observe_txn(ctx, committed)
+            worker.current = None
 
     def _execute(self, worker, ctx, spec):
         """Generator: run one transaction under the engine's retry policy.
@@ -426,6 +474,169 @@ class Engine:
     def _branch_release(self, ctx, branch):
         """Generator: release everything the branch holds (hook)."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Node crash and recovery (repro.recovery)
+    # ------------------------------------------------------------------
+
+    def crash(self):
+        """Kill the node at this virtual-time instant; returns a report.
+
+        Everything volatile dies: worker processes (and whatever they
+        were executing), the submission queue, the lock table, the buffer
+        pool, and any WAL tail whose flush had not completed.  Only disk
+        contents past the durable horizon survive — exactly the boundary
+        ``sim/disk.py``'s ``flush`` defines.  No virtual time passes and
+        no random numbers are drawn; the crash instant itself comes from
+        the fault plan, so a run without a planned ``node_crash`` never
+        reaches this code.
+
+        In-flight and queued client transactions are failed with reason
+        ``node_crash`` (their sessions died with the server).  Participant
+        branches follow the 2PC termination rules: not-yet-prepared
+        branches vote no; prepared branches become *in doubt* and are
+        listed on the report for resolution after restart.
+        """
+        now = self.sim.now
+        report = NodeCrashReport(now)
+        for proc in self._worker_procs:
+            if not proc.done.fired:
+                proc.done.fire()
+        for worker in self.workers:
+            item, worker.current = worker.current, None
+            if item is not None:
+                self._crash_item(item, report)
+        for item in self.queue._items:
+            if item is not _Shutdown:
+                self._crash_item(item, report)
+        # Dead getters would silently swallow future puts; dead items
+        # would be executed by the reborn pool as if nothing happened.
+        self.queue._items.clear()
+        self.queue._getters.clear()
+        self._t_submit_depth.set(0)
+        report.lost = tuple(self._crash_volatile(report))
+        return report
+
+    def _crash_item(self, item, report):
+        """Classify one in-flight/queued item at the crash instant."""
+        if item.__class__ is not Branch:
+            self._crash_txn(item[0])
+            return
+        branch = item
+        ctx = branch.ctx
+        if branch.done.fired:
+            return
+        if branch.prepared.fired and branch.vote:
+            # Voted yes: the prepare record is durable, the outcome is
+            # the coordinator's to give.  Snapshot the locks now — the
+            # lock table is about to be wiped — so recovery can re-grant
+            # them before new work runs (``indoubt_wait`` holds them
+            # until the decision arrives).
+            report.indoubt.append((branch, self._held_locks(ctx)))
+            return
+        if branch.prepared.fired:
+            return  # already voted no; nothing volatile left to undo
+        # Not yet prepared: the branch's work was volatile — vote no so
+        # the coordinator aborts globally.  ``reason`` may already be set
+        # (crash landed mid-release of an aborting branch), in which case
+        # the abort was already counted.
+        reason = branch.reason
+        if reason is None:
+            reason = "node_crash"
+            branch.reason = reason
+            ctx.abort_reason = reason
+            self._count_abort(reason)
+        if self.check.enabled:
+            self.check.locks_released(ctx, self.sim.now)
+            self.check.branch_vote(ctx, False, reason)
+        branch.prepared.fire(False)
+
+    def _crash_txn(self, ctx):
+        """Fail one client transaction whose session died with the node."""
+        del ctx.stack[:]
+        ctx._interval_start = None
+        if self.check.enabled:
+            self.check.locks_released(ctx, self.sim.now)
+        self._give_up(ctx, "node_crash")
+
+    def recover(self, report, crash_time):
+        """Generator: ARIES-style restart, called after the restart delay.
+
+        Analysis + redo collapse to replaying the durable WAL prefix as
+        virtual-time disk reads (``_recovery_replay``); undo is implicit
+        because strict 2PL never writes uncommitted data to the modelled
+        store.  In-doubt branches get their locks re-granted *before* the
+        worker pool is rebuilt, so no new transaction can slip past a
+        prepared branch's writes while its fate is undecided.
+        """
+        replayed = yield from self._recovery_replay()
+        report.wal_bytes = replayed
+        for branch, held in report.indoubt:
+            self._regrant_locks(branch.ctx, held)
+        self.workers = [Worker(i) for i in range(self.n_workers)]
+        self._worker_procs = [
+            self.sim.spawn(
+                self._worker_loop(worker),
+                name="%s.worker%d" % (self.name, worker.worker_id),
+            )
+            for worker in self.workers
+        ]
+        if self._draining:
+            for _ in self.workers:
+                self.queue.put(_Shutdown)
+        now = self.sim.now
+        tracer = self.tracer
+        if "recovery_replay" in tracer.instrumented:
+            # Transactions that queued while the node was down spent this
+            # stretch waiting on recovery, not on execution — attribute
+            # it so the variance tree can rank recovery stalls.
+            for item in self.queue._items:
+                if item is _Shutdown or item.__class__ is Branch:
+                    continue
+                ctx = item[0]
+                dt = now - max(crash_time, ctx.birth)
+                if dt > 0.0:
+                    tracer.record(ctx, "recovery_replay", dt, site="recovery")
+        self.telemetry.event(
+            "node.recovered",
+            engine=self.name,
+            replayed_bytes=replayed,
+            downtime=now - crash_time,
+            indoubt=len(report.indoubt),
+        )
+
+    def _crash_volatile(self, report):
+        """Wipe engine-specific volatile state; returns lost txn ids.
+
+        Subclass hook: lock-based engines truncate their WAL to the
+        durable horizon (returning commits the crash erased), clear the
+        lock table and drop the buffer pool.  The base engine has none of
+        those, so nothing is lost.
+        """
+        return ()
+
+    def _held_locks(self, ctx):
+        """Snapshot ``{obj_id: mode}`` held by ``ctx`` (subclass hook)."""
+        return {}
+
+    def _regrant_locks(self, ctx, held):
+        """Re-grant an in-doubt branch's locks into the fresh lock table.
+
+        Requests into an empty table grant instantaneously and draw no
+        randomness; the recorder keeps the original grant time, so the
+        lock-interval oracle sees one continuous hold across the crash.
+        """
+        for obj_id, mode in held.items():
+            self.lockmgr.request(ctx, obj_id, mode)
+
+    def _recovery_replay(self):
+        """Generator: replay the durable WAL prefix; returns bytes read.
+
+        Subclass hook — the base engine has no WAL, so recovery is
+        instantaneous.
+        """
+        return 0
+        yield  # pragma: no cover -- unreachable; makes this a generator
 
     # ------------------------------------------------------------------
     # Per-reason accounting

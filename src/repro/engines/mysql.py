@@ -634,3 +634,26 @@ class MySQLEngine(Engine):
 
     def _branch_release(self, ctx, branch):
         yield from self.lockmgr.release_all_timed(ctx)
+
+    # ------------------------------------------------------------------
+    # Node crash and recovery hooks (repro.recovery)
+    # ------------------------------------------------------------------
+
+    def _crash_volatile(self, report):
+        # Redo tail past the durable LSN, the lock table and every cached
+        # page die with the server; the devices themselves survive.
+        lost = self.redo.crash()
+        self.lockmgr.crash()
+        self.pool.crash()
+        return lost
+
+    def _held_locks(self, ctx):
+        return self.lockmgr.held_locks(ctx)
+
+    def _recovery_replay(self):
+        # ARIES analysis + redo collapsed to a sequential scan of the
+        # durable redo prefix on the log device.
+        replayed = yield from self.log_disk.read_sequential(
+            int(self.redo.durable_lsn)
+        )
+        return replayed

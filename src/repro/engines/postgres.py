@@ -315,3 +315,26 @@ class PostgresEngine(Engine):
     def _branch_release(self, ctx, branch):
         yield from self._release_predicate_locks(branch.predicate_locks)
         self.lockmgr.release_all(ctx)
+
+    # ------------------------------------------------------------------
+    # Node crash and recovery hooks (repro.recovery)
+    # ------------------------------------------------------------------
+
+    def _crash_volatile(self, report):
+        # The WAL tail past each stream's durable horizon and the lock
+        # table are process memory; the wal devices survive.
+        lost = self.wal.crash()
+        self.lockmgr.crash()
+        return lost
+
+    def _held_locks(self, ctx):
+        return self.lockmgr.held_locks(ctx)
+
+    def _recovery_replay(self):
+        # Redo: scan each stream's durable prefix on its own device
+        # (parallel logging still replays both logs on restart).
+        writers = self.wal.writers if isinstance(self.wal, ParallelWAL) else (self.wal,)
+        total = 0
+        for writer in writers:
+            total += yield from writer.disk.read_sequential(int(writer.durable_lsn))
+        return total

@@ -132,3 +132,16 @@ class VoltDBEngine(Engine):
         tracer.record(ctx, "transaction", self.sim.now - ctx.birth)
         tracer.end_transaction(ctx, committed=True)
         self.observe_txn(ctx, committed=True)
+
+    # ------------------------------------------------------------------
+    # Node crash and recovery hooks (repro.recovery)
+    # ------------------------------------------------------------------
+
+    def _crash_volatile(self, report):
+        """VoltDB models a synchronous command log: commits are durable
+        the instant they are reported, so a crash loses no committed
+        work — only the in-flight and queued transactions the base
+        :meth:`Engine.crash` already failed.  The site queue itself is
+        rebuilt by the base recovery path (fresh workers draining the
+        surviving submission queue)."""
+        return ()

@@ -49,6 +49,7 @@ class FaultInjector:
         self.retry_rng = streams.stream("faults.retry")
         self.io_errors = 0
         self.worker_crashes = 0
+        self.node_crashes = 0
         self._t_io_errors = self._tm.counter("faults.io_errors")
         self._t_crashes = self._tm.counter("faults.worker_crashes")
         self._t_restart = self._tm.histogram("faults.worker_restart_time")
@@ -177,6 +178,16 @@ class FaultInjector:
         return start + duration
 
     # ------------------------------------------------------------------
+    # Node crashes (repro/recovery)
+    # ------------------------------------------------------------------
+
+    def note_node_crash(self, target, now):
+        """Record one whole-node crash (no draws; instants are plan literals)."""
+        self.node_crashes += 1
+        self._tm.counter("faults.node_crashes").inc()
+        self._tm.event("fault.node_crash", target=target, at=now)
+
+    # ------------------------------------------------------------------
     # Driver faults (workloads/driver.py)
     # ------------------------------------------------------------------
 
@@ -214,6 +225,7 @@ class NullFaultInjector:
     retry_rng = None
     io_errors = 0
     worker_crashes = 0
+    node_crashes = 0
 
     def disk_latency_factor(self, disk_name, now):
         return 1.0

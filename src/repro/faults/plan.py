@@ -30,6 +30,14 @@ fault classes, each injected at a different layer of the stack:
   2PC decisions stall rather than diverge.  ``partition_links`` limits
   the cut to specific ``(src, dst)`` node pairs; the default ``("*",)``
   severs every cross-node link.
+- **Node crashes** (``repro.recovery``): at a planned virtual-time
+  instant an entire node (or the 2PC coordinator, target ``"coord"``)
+  loses all volatile state — buffer pool, lock table, in-flight
+  transactions, submission queue — keeping only WAL/decision-log disk
+  contents whose flushes completed.  After ``node_restart_delay`` the
+  recovery manager replays the durable WAL prefix and resolves in-doubt
+  2PC branches before the node rejoins (see docs/recovery.md).  Crash
+  instants are plain plan literals: scheduling one draws no RNG.
 
 Windows are ``(start, duration)`` pairs in virtual microseconds.  Windows
 and probability-zero faults cost *nothing* when inactive: window checks
@@ -111,6 +119,9 @@ class FaultPlan:
         net_delay_factor=6.0,
         partition_windows=(),
         partition_links=("*",),
+        # -- whole-node crashes (repro/recovery) ----------------------
+        node_crash_times=(),
+        node_restart_delay=5_000.0,
     ):
         self.name = str(name)
         self.brownout_windows = _check_windows("brownout_windows", brownout_windows)
@@ -160,6 +171,37 @@ class FaultPlan:
                     'or "*", got %r' % (link,)
                 )
         self.partition_links = links
+        crashes = []
+        for entry in node_crash_times:
+            try:
+                target, when = entry
+            except (TypeError, ValueError):
+                raise ValueError(
+                    "node_crash_times entries must be (target, time_us) "
+                    "pairs, got %r" % (entry,)
+                )
+            if target != "coord":
+                target = int(target)
+                if target < 0:
+                    raise ValueError(
+                        "node_crash_times target must be a node id >= 0 "
+                        'or "coord", got %r' % (entry,)
+                    )
+            when = float(when)
+            if not math.isfinite(when) or when < 0:
+                raise ValueError(
+                    "node_crash_times time must be finite and >= 0, got %r"
+                    % (entry,)
+                )
+            crashes.append((target, when))
+        crashes.sort(key=lambda tw: tw[1])
+        self.node_crash_times = tuple(crashes)
+        self.node_restart_delay = float(node_restart_delay)
+        if (
+            not math.isfinite(self.node_restart_delay)
+            or self.node_restart_delay < 0
+        ):
+            raise ValueError("node_restart_delay must be finite and >= 0")
 
     @property
     def enabled(self):
@@ -172,6 +214,7 @@ class FaultPlan:
             or self.burst_windows
             or self.net_delay_windows
             or self.partition_windows
+            or self.node_crash_times
         )
 
     def __repr__(self):
@@ -267,6 +310,24 @@ def _plan_net_partition(**kw):
     return FaultPlan(**base)
 
 
+def _plan_node_crash(**kw):
+    base = dict(
+        name="node-crash",
+        node_crash_times=((0, 400_000.0),),
+    )
+    base.update(kw)
+    return FaultPlan(**base)
+
+
+def _plan_coord_crash(**kw):
+    base = dict(
+        name="coord-crash",
+        node_crash_times=(("coord", 400_000.0),),
+    )
+    base.update(kw)
+    return FaultPlan(**base)
+
+
 NAMED_PLANS = {
     "log-brownout": _plan_log_brownout,
     "io-errors": _plan_io_errors,
@@ -276,6 +337,8 @@ NAMED_PLANS = {
     "full-chaos": _plan_full_chaos,
     "net-delay": _plan_net_delay,
     "net-partition": _plan_net_partition,
+    "node-crash": _plan_node_crash,
+    "coord-crash": _plan_coord_crash,
 }
 
 
@@ -299,9 +362,10 @@ FUZZ_FAULT_KINDS = (
     "crashes",
     "lock-storm",
     "burst",
+    "node-crash",
 )
 
-FUZZ_NETWORK_FAULT_KINDS = ("net-delay", "partition")
+FUZZ_NETWORK_FAULT_KINDS = ("net-delay", "partition", "coord-crash")
 
 
 def random_plan_kwargs(rng, kind, horizon_us):
@@ -345,4 +409,19 @@ def random_plan_kwargs(rng, kind, horizon_us):
         }
     if kind == "partition":
         return {"partition_windows": (window(),)}
+    if kind == "node-crash":
+        # Crash node 0 somewhere in the meat of the run; works on both
+        # single-node and clustered topologies.
+        return {
+            "node_crash_times": ((0, round(rng.uniform(0.1, 0.6) * horizon_us, 1)),),
+            "node_restart_delay": round(rng.uniform(2_000.0, 20_000.0), 1),
+        }
+    if kind == "coord-crash":
+        # Crash the 2PC coordinator mid-run (clustered topologies only).
+        return {
+            "node_crash_times": (
+                ("coord", round(rng.uniform(0.1, 0.6) * horizon_us, 1)),
+            ),
+            "node_restart_delay": round(rng.uniform(2_000.0, 20_000.0), 1),
+        }
     raise ValueError("unknown fuzz fault kind %r" % (kind,))

@@ -387,6 +387,23 @@ class LockManager:
         """``{obj_id: mode}`` currently held by ``ctx``."""
         return dict(self._held.get(ctx, {}))
 
+    def crash(self):
+        """Whole-node crash: the lock table is volatile — wipe it.
+
+        Granted sets, wait queues and waiting-request records all die
+        with the server process; no grant pass runs because every waiter
+        is a dead process.  The lock_sys mutex is reset directly (its
+        holder, if any, died too).  Counters survive as run-level
+        accounting.  In-doubt 2PC branches get their locks re-granted by
+        recovery *before* new work is admitted (``repro.recovery``).
+        """
+        self._objects.clear()
+        self._held.clear()
+        self._waiting_request.clear()
+        if self.lock_sys_mutex is not None:
+            self.lock_sys_mutex.holder = None
+            self.lock_sys_mutex._waiters.clear()
+
     def queue_length(self, obj_id):
         obj = self._objects.get(obj_id)
         return 0 if obj is None else len(obj.waiting)

@@ -1,0 +1,19 @@
+"""Crash recovery: node/coordinator crashes and deterministic restart.
+
+The crash-side primitives live where the state lives — every engine
+subsystem knows how to discard its own volatile state
+(:meth:`Engine.crash`, ``RedoLog.crash``, ``BufferPool.crash``,
+``LockManager.crash``, :meth:`Cluster.crash_coordinator`) — and this
+package supplies the *controller* that drives them: a simulation process
+that kills the configured target at each planned virtual-time instant,
+waits out the restart delay, and runs the recovery protocol
+(:meth:`Engine.recover` / :meth:`Cluster.recover_coordinator` plus
+per-branch in-doubt resolution).
+
+See ``docs/recovery.md`` for the durability boundary, the termination
+protocol, and the determinism guarantees.
+"""
+
+from repro.recovery.controller import RECOVERY_FRAMES, crash_controller
+
+__all__ = ["RECOVERY_FRAMES", "crash_controller"]

@@ -220,12 +220,36 @@ class Disk:
         )
         yield from self._serve(service)
 
+    def read_sequential(self, nbytes, chunk_bytes=131072):
+        """Generator: a sequential scan of ``nbytes`` in fixed-size chunks.
+
+        Recovery replay (``repro.recovery``) reads the durable WAL prefix
+        front to back; each chunk pays the per-call base plus transfer
+        time, so replay time grows with the durable log length at the
+        crash instant.  Evaluates to the byte count read.
+        """
+        if nbytes <= 0:
+            return 0
+        remaining = nbytes
+        while remaining > 0:
+            chunk = chunk_bytes if remaining > chunk_bytes else remaining
+            yield from self.read(chunk)
+            remaining -= chunk
+        return nbytes
+
     def flush(self):
         """Generator: force previously written data to stable storage.
 
         This is where the heavy tail lives: the body is a lognormal around
         ``flush_base_mean`` and with probability ``flush_tail_prob`` the
         call hits a Pareto-tailed stall.
+
+        This call is also the *durability boundary* for crash recovery
+        (``repro.recovery``): data is crash-proof only once the process
+        that issued the flush resumes past this generator.  A node crash
+        mid-flush kills the issuing process before it can advance its
+        durable horizon, so the write counts as lost — matching a real
+        fsync whose completion never reached the caller.
         """
         yield from self._fail("flush")
         self.flushes += 1

@@ -70,6 +70,7 @@ class RedoLog:
         self.flush_rounds = 0
         self.group_sizes = []
         self._flusher_started = False
+        self._flusher_proc = None
         # Commits reported to the client before their redo was durable —
         # each one was exposed to a crash for some window (Appendix B's
         # forward-progress risk of the lazy policies).
@@ -174,7 +175,9 @@ class RedoLog:
         if self.config.policy is FlushPolicy.EAGER_FLUSH:
             return
         self._flusher_started = True
-        self.sim.spawn(self._flusher_loop(), name=self.name + ".flusher")
+        self._flusher_proc = self.sim.spawn(
+            self._flusher_loop(), name=self.name + ".flusher"
+        )
 
     def _flusher_loop(self):
         """Background write/flush rounds, one per ``flusher_interval``.
@@ -208,6 +211,32 @@ class RedoLog:
     def lost_on_crash(self):
         """Transaction ids reported committed but not durable right now."""
         return [txn_id for lsn, txn_id in self._commits if lsn > self.durable_lsn]
+
+    def crash(self):
+        """Whole-node crash: the in-memory log tail evaporates.
+
+        Kills the background flusher, truncates every LSN horizon back to
+        the durable one (buffered writes live in the dying OS page cache)
+        and resets the group-commit round state — its leader and
+        followers died with the worker pool.  Returns the txn ids whose
+        commits the crash erased: reported committed, redo not yet
+        durable — the lazy policies' forward-progress risk made concrete
+        (empty under ``EAGER_FLUSH``).  Counters survive; they are
+        run-level accounting, not node memory.
+        """
+        if self._flusher_proc is not None and not self._flusher_proc.done.fired:
+            self._flusher_proc.done.fire()
+        self._flusher_proc = None
+        self._flusher_started = False
+        lost = self.lost_on_crash()
+        self.current_lsn = self.durable_lsn
+        self.written_lsn = self.durable_lsn
+        self._commits = [
+            (lsn, txn_id) for lsn, txn_id in self._commits if lsn <= self.durable_lsn
+        ]
+        self._flush_in_progress = False
+        self._round_done = None
+        return lost
 
     def __repr__(self):
         return "<RedoLog %s policy=%s lsn=%d durable=%d>" % (

@@ -152,6 +152,25 @@ class WALWriter:
         """Commits reported durable... that actually were (sanity: empty)."""
         return [txn_id for lsn, txn_id in self._commits if lsn > self.durable_lsn]
 
+    def crash(self):
+        """Whole-node crash: drop the volatile tail and the lock state.
+
+        The WALWriteLock and its wait queue are process memory — their
+        holder and waiters died with the backend pool — and written-but-
+        unflushed blocks lived in the dying page cache.  Returns the txn
+        ids whose commits were lost (structurally empty: ``commit`` only
+        records a commit after its flush round covered the LSN).
+        """
+        self._locked = False
+        del self._wait_queue[:]
+        lost = self.lost_on_crash()
+        self.current_lsn = self.durable_lsn
+        self.written_lsn = self.durable_lsn
+        self._commits = [
+            (lsn, txn_id) for lsn, txn_id in self._commits if lsn <= self.durable_lsn
+        ]
+        return lost
+
     def __repr__(self):
         return "<WALWriter %s lsn=%d durable=%d waits=%d>" % (
             self.name,
@@ -201,3 +220,15 @@ class ParallelWAL:
         for writer in self.writers:
             lost.extend(writer.lost_on_crash())
         return lost
+
+    def crash(self):
+        """Crash every stream; returns the union of lost commits."""
+        lost = []
+        for writer in self.writers:
+            lost.extend(writer.crash())
+        return lost
+
+    @property
+    def durable_lsn(self):
+        """Total durable bytes across streams (recovery-replay length)."""
+        return sum(writer.durable_lsn for writer in self.writers)

@@ -69,21 +69,30 @@ def test_case_builds_valid_config(seed):
     assert isinstance(config.fault_plan, FaultPlan)
 
 
+def _case_size(case):
+    """A well-founded shrink order: every candidate must be < its parent.
+
+    Node-crash plans add a fourth dimension — total crash time — so the
+    crash-instant-halving candidates (same txn count, same kwargs keys)
+    still strictly decrease.
+    """
+    crash_total = sum(
+        t for _target, t in case.fault_kwargs.get("node_crash_times", ())
+    )
+    return (case.n_txns, case.num_shards, len(case.fault_kwargs), crash_total)
+
+
 @given(seed=st.integers(min_value=0, max_value=10_000))
 @settings(max_examples=60, deadline=None)
 def test_shrink_candidates_strictly_smaller(seed):
     case = make_case(seed)
-    size = (case.n_txns, case.num_shards, len(case.fault_kwargs))
+    size = _case_size(case)
     candidates = list(_shrink_candidates(case))
     assert candidates, "every fresh case must have somewhere to shrink"
     for candidate in candidates:
         assert isinstance(candidate, FuzzCase)
         assert candidate.n_txns >= 2
-        assert (
-            candidate.n_txns,
-            candidate.num_shards,
-            len(candidate.fault_kwargs),
-        ) < size
+        assert _case_size(candidate) < size
         # Candidates must still build runnable configs.
         build_config(candidate)
 
