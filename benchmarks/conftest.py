@@ -85,6 +85,8 @@ def _config_key(config):
         _stable(config.fault_plan),
         config.num_shards,
         _stable(config.topology),
+        config.replicas,
+        _stable(config.replication),
         config.check,
     )
 

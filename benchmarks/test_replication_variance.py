@@ -1,0 +1,182 @@
+"""Replication cost appearing in the variance tree, scaling with knobs.
+
+The paper's methodology demands that anything moving latency variance
+show up as a factor in the tree; replication adds two such factors, each
+with a knob that provably drives it:
+
+- **Commit-ack waits** (``repl_ack_wait``): a sync/semisync commit holds
+  its locks until the replica ack quota arrives (lossless-semisync,
+  AFTER_SYNC), so every commit pays at least one replica network round
+  trip.  Slower replica links mean longer ack waits — the
+  ``repl_ack_wait`` variance share must rise monotonically with the
+  fabric's one-way latency.
+- **Failover stalls** (``promote_wait``): when the primary crashes, the
+  promoted replica must replay its shipped-but-unapplied tail before
+  service resumes; transactions queued across the outage record the
+  stall.  A ``replica_lag`` fault window grows that tail, so the
+  ``promote_wait`` share must rise monotonically with the injected
+  per-record stall.
+
+Plus the lag itself: each replica's staleness gauge high-water must rise
+monotonically with the injected apply stall — that is the knob the
+``replica_ok`` staleness bound defends against.
+
+All smoke benchmarks (``smoke_bench``): tiny deterministic runs,
+monotonicity asserted exactly — the same seed replays byte-identically.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.runner import ExperimentConfig, run_experiment
+from repro.cluster.coordinator import Topology
+from repro.core.variance_tree import VarianceTree
+from repro.faults.plan import FaultPlan
+from repro.replication import ReplicationConfig
+from repro.sim.disk import DiskConfig
+from repro.sim.network import NetworkConfig
+
+pytestmark = pytest.mark.smoke_bench
+
+
+def replicated_config(mode, **overrides):
+    # One shard, two replicas: the network carries only replication
+    # traffic, so the ack-wait knob sweeps are clean of 2PC noise.
+    fields = dict(
+        engine="mysql",
+        workload="tpcc",
+        workload_kwargs={"warehouses": 8},
+        seed=31,
+        n_txns=300,
+        rate_tps=500.0,
+        warmup_fraction=0.0,
+        replicas=2,
+        replication=ReplicationConfig(mode=mode, ack_k=1),
+    )
+    fields.update(overrides)
+    return ExperimentConfig(**fields)
+
+
+def _share(result, frame):
+    return VarianceTree(result.traces).name_shares().get(frame, 0.0)
+
+
+def test_repl_ack_wait_share_grows_with_replica_latency():
+    """Slower replica links => longer commit-ack round trips => bigger
+    ``repl_ack_wait`` slice.  Sync mode: every commit pays the wait."""
+    rows = []
+    for latency in (120.0, 400.0, 1_200.0, 3_000.0):
+        topology = Topology(
+            network=NetworkConfig(latency_mean=latency, tail_prob=0.0)
+        )
+        result = run_experiment(
+            replicated_config("sync", topology=topology)
+        )
+        rows.append((latency, _share(result, "repl_ack_wait")))
+    print()
+    for latency, share in rows:
+        print(
+            "  replica link latency=%7.0fus  repl_ack_wait share=%.4f%%"
+            % (latency, 100.0 * share)
+        )
+    assert rows[0][1] > 0.0, "ack waits must appear in the tree at all"
+    for (_l0, earlier), (_l1, later) in zip(rows, rows[1:]):
+        assert later > earlier, (
+            "repl_ack_wait share must grow with replica latency: %r" % (rows,)
+        )
+
+
+def test_async_mode_pays_no_ack_wait():
+    """The async control: same run, no ack quota, no ``repl_ack_wait``
+    frame no matter how slow the replica links are."""
+    topology = Topology(
+        network=NetworkConfig(latency_mean=3_000.0, tail_prob=0.0)
+    )
+    result = run_experiment(replicated_config("async", topology=topology))
+    assert _share(result, "repl_ack_wait") == 0.0
+
+
+def test_replica_staleness_grows_with_apply_stall():
+    """A ``replica_lag`` window stalls the apply loops; each replica's
+    staleness gauge high-water must rise with the injected stall."""
+    rows = []
+    for stall in (200.0, 1_000.0, 4_000.0):
+        plan = FaultPlan(
+            name="bench-lag",
+            replica_lag_windows=((0.0, 1_000_000.0),),
+            replica_lag_stall_us=stall,
+        )
+        result = run_experiment(
+            replicated_config("async", fault_plan=plan)
+        )
+        lag = max(
+            result.sim.telemetry.gauge("repl.s0r%d.lag_us" % idx).max
+            for idx in (0, 1)
+        )
+        rows.append((stall, lag))
+    print()
+    for stall, lag in rows:
+        print(
+            "  apply stall=%7.0fus  max replica staleness=%9.1fus"
+            % (stall, lag)
+        )
+    assert rows[0][1] > 0.0
+    for (_s0, earlier), (_s1, later) in zip(rows, rows[1:]):
+        assert later > earlier, (
+            "staleness must grow with the apply stall: %r" % (rows,)
+        )
+
+
+def _promoted_event(result):
+    for line in result.event_log_jsonl().splitlines():
+        if '"repl.promoted"' in line:
+            return json.loads(line)
+    raise AssertionError("run never promoted a replica")
+
+
+def test_promote_wait_share_grows_with_unapplied_tail():
+    """Crash the primary behind a lagging apply loop: the promoted
+    replica's tail replay stalls queued transactions, and a bigger lag
+    stall means a bigger tail, a longer replay, a bigger
+    ``promote_wait`` slice.  The relay disk is deliberately slow so the
+    replay is the dominant part of the outage."""
+    rows = []
+    for stall in (500.0, 1_500.0, 3_000.0):
+        plan = FaultPlan(
+            name="bench-failover",
+            node_crash_times=((0, 200_000.0),),
+            replica_lag_windows=((0.0, 200_000.0),),
+            replica_lag_stall_us=stall,
+        )
+        config = replicated_config(
+            "async",
+            seed=11,
+            rate_tps=800.0,
+            fault_plan=plan,
+            replication=ReplicationConfig(
+                mode="async",
+                apply_disk=DiskConfig(
+                    bandwidth_bytes_per_us=2.0, read_base_mean=400.0
+                ),
+            ),
+            check=True,
+        )
+        result = run_experiment(config)
+        assert result.check_report() == []
+        event = _promoted_event(result)
+        rows.append((stall, event["tail_bytes"], _share(result, "promote_wait")))
+    print()
+    for stall, tail, share in rows:
+        print(
+            "  apply stall=%7.0fus  unapplied tail=%7d B  "
+            "promote_wait share=%.4f%%" % (stall, tail, 100.0 * share)
+        )
+    assert rows[0][2] > 0.0, "failover stall must appear in the tree"
+    for earlier, later in zip(rows, rows[1:]):
+        assert later[1] > earlier[1], (
+            "the unapplied tail must grow with the stall: %r" % (rows,)
+        )
+        assert later[2] > earlier[2], (
+            "promote_wait share must grow with the tail: %r" % (rows,)
+        )

@@ -68,12 +68,16 @@ class ExperimentConfig:
         fault_plan=None,
         num_shards=1,
         topology=None,
+        replicas=0,
+        replication=None,
         check=False,
     ):
         if engine not in _ENGINES:
             raise ValueError("unknown engine %r" % (engine,))
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1, got %r" % (num_shards,))
+        if replicas < 0:
+            raise ValueError("replicas must be >= 0, got %r" % (replicas,))
         self.engine = engine
         self.workload = workload
         self.workload_kwargs = dict(workload_kwargs or {})
@@ -96,6 +100,12 @@ class ExperimentConfig:
         # single-node run (no network, no router, no coordinator).
         self.num_shards = num_shards
         self.topology = topology
+        # Replication (repro.replication): replicas per shard plus an
+        # optional ReplicationConfig.  replicas=0 (the default)
+        # constructs zero replication objects — byte-identical to a
+        # build without the subsystem (pinned by the golden digests).
+        self.replicas = replicas
+        self.replication = replication
         # Correctness checking (repro.check): record the run's history
         # for the offline oracles.  The recorder consumes no virtual
         # time, so — like telemetry — this flag can never change a run's
@@ -104,7 +114,13 @@ class ExperimentConfig:
 
     @property
     def is_clustered(self):
-        return self.num_shards > 1 or self.topology is not None
+        # Replicated runs always build a Cluster (even with one shard):
+        # the coordinator owns the network and the read routing.
+        return (
+            self.num_shards > 1
+            or self.topology is not None
+            or self.replicas > 0
+        )
 
     def replaced(self, **overrides):
         """A copy of this config with fields replaced."""
@@ -123,6 +139,8 @@ class ExperimentConfig:
             "fault_plan": self.fault_plan,
             "num_shards": self.num_shards,
             "topology": self.topology,
+            "replicas": self.replicas,
+            "replication": self.replication,
             "check": self.check,
         }
         fields.update(overrides)
@@ -408,7 +426,8 @@ def _build_cluster(config, sim, tracer, workload, streams, engine_cls):
     if not engine_cls.supports_branches:
         raise ValueError(
             "engine %r does not support 2PC participant branches; "
-            "it cannot host a multi-shard cluster" % (config.engine,)
+            "it cannot host a multi-shard or replicated cluster"
+            % (config.engine,)
         )
     topology = config.topology or Topology()
     network = Network(
@@ -434,4 +453,30 @@ def _build_cluster(config, sim, tracer, workload, streams, engine_cls):
         )
         for node_id in range(config.num_shards)
     ]
-    return Cluster(sim, tracer, nodes, network, router, streams, topology)
+    groups = None
+    if config.replicas > 0:
+        from repro.replication import (
+            REPLICATION_FRAMES,
+            ReplicaGroup,
+            ReplicationConfig,
+        )
+
+        repl_config = config.replication or ReplicationConfig()
+        tracer.instrumented.update(REPLICATION_FRAMES)
+        groups = {}
+        for node in nodes:
+            group = ReplicaGroup(
+                sim,
+                tracer,
+                node.node_id,
+                node.node_id,
+                network,
+                streams,
+                repl_config,
+                config.replicas,
+            )
+            groups[node.node_id] = group
+            node.engine.replication = group
+    return Cluster(
+        sim, tracer, nodes, network, router, streams, topology, groups=groups
+    )

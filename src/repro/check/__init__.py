@@ -32,6 +32,7 @@ from repro.check.recorder import (
     History,
     HistoryRecorder,
     OpRec,
+    ReplRec,
     RoundRec,
     TxnRec,
 )
@@ -42,6 +43,8 @@ _ORACLE_SYMBOLS = (
     "check_serializability",
     "check_2pc_atomicity",
     "check_lock_intervals",
+    "check_durability",
+    "check_replication",
 )
 
 __all__ = [
@@ -50,6 +53,7 @@ __all__ = [
     "History",
     "HistoryRecorder",
     "OpRec",
+    "ReplRec",
     "RoundRec",
     "TxnRec",
 ] + list(_ORACLE_SYMBOLS)

@@ -19,6 +19,10 @@ Modes:
   dropped from the 2PC round record.
 - ``"decision_log_gap"`` — the coordinator's decision is recorded as
   never having reached its log.
+- ``"repl_lost_ack"`` — replication commit barriers are recorded with
+  one ack fewer than their mode required (an ack counted early).
+- ``"repl_stale_read"`` — replica reads are recorded with an
+  arbitrarily large staleness, as if the router ignored its bound.
 
 ``None`` (the default) records faithfully.  Production code never reads
 this module except through the recorder's constructor.
@@ -26,7 +30,15 @@ this module except through the recorder's constructor.
 
 import contextlib
 
-MODES = (None, "lost_update", "dirty_read", "partial_commit", "decision_log_gap")
+MODES = (
+    None,
+    "lost_update",
+    "dirty_read",
+    "partial_commit",
+    "decision_log_gap",
+    "repl_lost_ack",
+    "repl_stale_read",
+)
 
 #: Active corruption mode; see module docstring.
 CORRUPTION = None

@@ -7,7 +7,9 @@ seed produces the same case and the same violations in any process.
 
 :func:`fuzz_one` runs the case with the oracles on.  On a violation it
 greedily **shrinks**: fewer transactions, then earlier crash instants
-(for node-crash plans), then no fault plan, then fewer shards —
+(for node-crash plans), then no fault plan, then no replication (or a
+simpler mode: anything → sync, replica reads → primary), then fewer
+shards —
 re-running after each candidate and keeping it only if the failure
 survives — and renders the minimal case as a ready-to-paste
 pytest function (:func:`reproducer_source`).
@@ -26,6 +28,7 @@ import random
 from repro.faults.plan import (
     FUZZ_FAULT_KINDS,
     FUZZ_NETWORK_FAULT_KINDS,
+    FUZZ_REPLICATION_FAULT_KINDS,
     FaultPlan,
     random_plan_kwargs,
 )
@@ -45,14 +48,14 @@ class FuzzCase:
     FIELDS = (
         "seed", "engine", "workload", "workload_kwargs", "scheduler",
         "n_txns", "rate_tps", "num_shards", "fault_kind", "fault_kwargs",
-        "run_seed",
+        "run_seed", "replicas", "repl_kwargs",
     )
 
     __slots__ = FIELDS
 
     def __init__(self, seed, engine, workload, workload_kwargs, scheduler,
                  n_txns, rate_tps, num_shards, fault_kind, fault_kwargs,
-                 run_seed):
+                 run_seed, replicas=0, repl_kwargs=None):
         self.seed = seed
         self.engine = engine
         self.workload = workload
@@ -64,6 +67,8 @@ class FuzzCase:
         self.fault_kind = fault_kind
         self.fault_kwargs = dict(fault_kwargs)
         self.run_seed = run_seed
+        self.replicas = replicas
+        self.repl_kwargs = dict(repl_kwargs or {})
 
     def replaced(self, **overrides):
         fields = {name: getattr(self, name) for name in self.FIELDS}
@@ -83,9 +88,9 @@ class FuzzCase:
         return hash(self.astuple())
 
     def __repr__(self):
-        return "<FuzzCase seed=%d %s/%s shards=%d fault=%s n=%d>" % (
+        return "<FuzzCase seed=%d %s/%s shards=%d replicas=%d fault=%s n=%d>" % (
             self.seed, self.engine, self.workload, self.num_shards,
-            self.fault_kind or "none", self.n_txns,
+            self.replicas, self.fault_kind or "none", self.n_txns,
         )
 
 
@@ -130,9 +135,34 @@ def make_case(seed):
     horizon_us = n_txns / rate_tps * 1_000_000.0
     fault_kwargs = random_plan_kwargs(rng, fault_kind, horizon_us)
     run_seed = rng.randrange(1_000_000)
+    # Replication draws come *last* so every pre-replication field of a
+    # legacy seed is unchanged — shrink corpora and pinned reproducers
+    # from before the subsystem existed still map to the same base case.
+    if engine == "voltdb":
+        # No redo stream to ship (synchronous command log): replication
+        # is a no-op there, so the fuzzer never configures it.
+        replicas = 0
+    else:
+        replicas = rng.choice((0, 0, 1, 2))
+    repl_kwargs = {}
+    if replicas:
+        repl_kwargs = {
+            "mode": rng.choice(("sync", "semi_sync", "async")),
+            "ack_k": 1,
+            "read_policy": rng.choice(("primary", "replica_ok")),
+            "staleness_bound_us": round(rng.uniform(1_000.0, 20_000.0), 1),
+        }
+        if rng.random() < 0.25:
+            # Replicated cases trade their drawn fault for a replica-lag
+            # window a quarter of the time — the one fault class that
+            # only exists with replicas attached.
+            (replication_kind,) = FUZZ_REPLICATION_FAULT_KINDS
+            fault_kind = replication_kind
+            fault_kwargs = random_plan_kwargs(rng, fault_kind, horizon_us)
     return FuzzCase(
         seed, engine, workload, workload_kwargs, scheduler, n_txns,
         rate_tps, num_shards, fault_kind, fault_kwargs, run_seed,
+        replicas, repl_kwargs,
     )
 
 
@@ -150,6 +180,11 @@ def build_config(case):
         fault_plan = FaultPlan(
             name="fuzz-%s" % (case.fault_kind,), **case.fault_kwargs
         )
+    replication = None
+    if case.replicas:
+        from repro.replication import ReplicationConfig
+
+        replication = ReplicationConfig(**case.repl_kwargs)
     return ExperimentConfig(
         engine=case.engine,
         workload=case.workload,
@@ -160,6 +195,8 @@ def build_config(case):
         rate_tps=case.rate_tps,
         num_shards=case.num_shards,
         fault_plan=fault_plan,
+        replicas=case.replicas,
+        replication=replication,
         check=True,
     )
 
@@ -191,6 +228,19 @@ def _shrink_candidates(case):
             yield case.replaced(fault_kwargs=kwargs)
     if case.fault_kwargs:
         yield case.replaced(fault_kind=None, fault_kwargs={})
+    if case.replicas:
+        # Dropping replication entirely is the big shrink; failing that,
+        # collapsing the mode to sync removes the ack-quota and
+        # staleness dimensions while keeping the replica machinery.
+        yield case.replaced(replicas=0, repl_kwargs={})
+        if case.repl_kwargs.get("mode") != "sync":
+            simpler = dict(case.repl_kwargs)
+            simpler["mode"] = "sync"
+            yield case.replaced(repl_kwargs=simpler)
+        if case.repl_kwargs.get("read_policy") == "replica_ok":
+            simpler = dict(case.repl_kwargs)
+            simpler["read_policy"] = "primary"
+            yield case.replaced(repl_kwargs=simpler)
     if case.num_shards > 2:
         yield case.replaced(num_shards=2)
     if case.num_shards == 2:
@@ -239,6 +289,8 @@ def reproducer_source(case, violations=()):
         lines.append("    from repro.faults.plan import FaultPlan")
     if case.scheduler is not None:
         lines.append("    from repro.engines.mysql import MySQLConfig")
+    if case.replicas:
+        lines.append("    from repro.replication import ReplicationConfig")
     lines.append("")
     if _test_hooks.CORRUPTION is not None:
         lines.append(
@@ -262,6 +314,11 @@ def reproducer_source(case, violations=()):
         lines.append(
             "        fault_plan=FaultPlan(name=%r, **%r),"
             % ("fuzz-%s" % (case.fault_kind,), case.fault_kwargs)
+        )
+    if case.replicas:
+        lines.append("        replicas=%r," % (case.replicas,))
+        lines.append(
+            "        replication=ReplicationConfig(**%r)," % (case.repl_kwargs,)
         )
     lines.append("        check=True,")
     lines.append("    )")

@@ -322,6 +322,80 @@ def check_durability(history):
     return violations
 
 
+def check_replication(history):
+    """Replication oracle: acks, staleness bounds and failover safety.
+
+    Judges the replication records (``History.repl``) a replicated run
+    leaves behind; replica-free runs record none, so the oracle is free:
+
+    - ``repl-stale-read-beyond-bound`` — a replica served a read whose
+      routing-time staleness exceeded the policy bound it was admitted
+      under (the router's bounded-staleness promise was broken).
+    - ``repl-lost-ack-commit`` — a sync/semisync commit barrier released
+      before collecting its required ack quota: the client was told
+      "replicated" while the guarantee did not hold.
+    - ``repl-split-brain-double-primary`` — a commit was recorded under
+      a primacy epoch that a promotion had already superseded (two
+      primaries accepting commits for one shard), or promotion epochs
+      failed to advance strictly.
+    - ``repl-promotion-lost-durable-record`` — a promotion installed a
+      replica that had not received some earlier commit whose ack quota
+      was satisfied: failover dropped a transaction the mode had
+      promised to preserve.  (Async commits carry no such promise and
+      are legitimately lossy on failover.)
+    """
+    violations = []
+    if not history.repl:
+        return violations
+    shards = {}
+    for rec in sorted(history.repl, key=lambda r: r.seq):
+        shards.setdefault(rec.shard, []).append(rec)
+    for shard, recs in sorted(shards.items()):
+        epoch = 0
+        acked = []  # (lsn, txn_id) of ack-satisfied commits, in seq order
+        for rec in recs:
+            if rec.kind == "read":
+                if rec.staleness > rec.bound:
+                    violations.append(Violation(
+                        "repl-stale-read-beyond-bound", rec.txn_id,
+                        "replica %r on shard %r served staleness %r beyond "
+                        "bound %r" % (rec.replica, shard, rec.staleness,
+                                      rec.bound),
+                    ))
+            elif rec.kind == "commit":
+                if rec.required > 0 and rec.acks < rec.required:
+                    violations.append(Violation(
+                        "repl-lost-ack-commit", rec.txn_id,
+                        "commit on shard %r released with %r acks of %r "
+                        "required" % (shard, rec.acks, rec.required),
+                    ))
+                if rec.epoch != epoch:
+                    violations.append(Violation(
+                        "repl-split-brain-double-primary", rec.txn_id,
+                        "commit on shard %r under epoch %r while epoch %r "
+                        "was active" % (shard, rec.epoch, epoch),
+                    ))
+                if rec.required > 0 and rec.acks >= rec.required:
+                    acked.append((rec.lsn, rec.txn_id))
+            else:  # promote
+                if rec.epoch != epoch + 1:
+                    violations.append(Violation(
+                        "repl-split-brain-double-primary", None,
+                        "promotion on shard %r jumped epoch %r -> %r"
+                        % (shard, epoch, rec.epoch),
+                    ))
+                epoch = rec.epoch
+                for lsn, txn_id in acked:
+                    if lsn > rec.lsn:
+                        violations.append(Violation(
+                            "repl-promotion-lost-durable-record", txn_id,
+                            "promotion on shard %r installed replica %r at "
+                            "lsn %r, losing an ack-satisfied commit at lsn "
+                            "%r" % (shard, rec.replica, rec.lsn, lsn),
+                        ))
+    return violations
+
+
 def check_all(history):
     """Run every oracle; returns the combined violation list."""
     return (
@@ -329,4 +403,5 @@ def check_all(history):
         + check_2pc_atomicity(history)
         + check_lock_intervals(history)
         + check_durability(history)
+        + check_replication(history)
     )

@@ -171,15 +171,57 @@ class CrashRec:
         )
 
 
+class ReplRec:
+    """One replication event (repro.replication), discriminated by ``kind``:
+
+    - ``"commit"`` — a commit barrier returned: ``txn_id``, ``shard``,
+      ``epoch`` (the group's promotion epoch at barrier entry), ``lsn``
+      (the commit's replication-log end position), ``required`` (the
+      mode's ack quota against live replicas) and ``acks`` (acks actually
+      counted when the barrier released);
+    - ``"read"`` — a replica served a read-only transaction: ``txn_id``,
+      ``shard``, ``replica`` index, the routing-time ``staleness`` and
+      the policy ``bound`` it was admitted under;
+    - ``"promote"`` — a failover promoted ``replica`` on ``shard`` to
+      primary at epoch ``epoch``, having received up to ``lsn``.
+    """
+
+    __slots__ = ("seq", "kind", "t", "txn_id", "shard", "epoch", "lsn",
+                 "required", "acks", "replica", "staleness", "bound")
+
+    def __init__(self, seq, kind, t, txn_id=None, shard=None, epoch=None,
+                 lsn=None, required=None, acks=None, replica=None,
+                 staleness=None, bound=None):
+        self.seq = seq
+        self.kind = kind
+        self.t = t
+        self.txn_id = txn_id
+        self.shard = shard
+        self.epoch = epoch
+        self.lsn = lsn
+        self.required = required
+        self.acks = acks
+        self.replica = replica
+        self.staleness = staleness
+        self.bound = bound
+
+    def __repr__(self):
+        return "<ReplRec #%d %s s%r t=%.1f>" % (
+            self.seq, self.kind, self.shard, self.t,
+        )
+
+
 class History:
-    """Everything one run recorded: transaction, 2PC and crash records."""
+    """Everything one run recorded: transaction, 2PC, crash and
+    replication records."""
 
-    __slots__ = ("txns", "rounds", "crashes")
+    __slots__ = ("txns", "rounds", "crashes", "repl")
 
-    def __init__(self, txns=None, rounds=None, crashes=None):
+    def __init__(self, txns=None, rounds=None, crashes=None, repl=None):
         self.txns = list(txns or [])
         self.rounds = list(rounds or [])
         self.crashes = list(crashes or [])
+        self.repl = list(repl or [])
 
     def committed(self):
         """Committed records in commit order (the replay order)."""
@@ -388,6 +430,39 @@ class HistoryRecorder:
         """The branch released everything and reported its outcome."""
         if ctx in self._branch_info:
             self._finish_branch(ctx, committed, None)
+
+    # ------------------------------------------------------------------
+    # Replication hooks (repro.replication)
+    # ------------------------------------------------------------------
+
+    def repl_commit(self, txn_id, shard, epoch, lsn, required, acks):
+        """A commit barrier released (after collecting its ack quota)."""
+        self._seq += 1
+        if self.corruption == "repl_lost_ack" and required > 0:
+            acks = required - 1  # Planted bug: an ack was counted early.
+        self.history.repl.append(ReplRec(
+            self._seq, "commit", self.sim.now, txn_id=txn_id, shard=shard,
+            epoch=epoch, lsn=lsn, required=required, acks=acks,
+        ))
+
+    def repl_read(self, txn_id, shard, replica, staleness, bound):
+        """A replica served a read-only transaction."""
+        self._seq += 1
+        if self.corruption == "repl_stale_read":
+            # Planted bug: the router admitted an arbitrarily stale view.
+            staleness = bound + 1.0e9
+        self.history.repl.append(ReplRec(
+            self._seq, "read", self.sim.now, txn_id=txn_id, shard=shard,
+            replica=replica, staleness=staleness, bound=bound,
+        ))
+
+    def repl_promote(self, shard, epoch, replica, received_lsn, t):
+        """A failover promoted ``replica`` to primary at ``epoch``."""
+        self._seq += 1
+        self.history.repl.append(ReplRec(
+            self._seq, "promote", t, shard=shard, epoch=epoch,
+            replica=replica, lsn=received_lsn,
+        ))
 
     # ------------------------------------------------------------------
     # Crash hooks (repro.recovery)

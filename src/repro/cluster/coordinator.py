@@ -90,7 +90,8 @@ class Cluster:
     #: The coordinator's network identity (it is not a shard).
     COORD = -1
 
-    def __init__(self, sim, tracer, nodes, network, router, streams, topology):
+    def __init__(self, sim, tracer, nodes, network, router, streams, topology,
+                 groups=None):
         self.sim = sim
         self.tracer = tracer
         self.nodes = nodes
@@ -98,6 +99,12 @@ class Cluster:
         self.router = router
         self.streams = streams
         self.topology = topology
+        #: ``{shard: ReplicaGroup}`` when the experiment configures
+        #: replication (repro.replication); empty otherwise — every
+        #: replica-aware branch below is guarded on this map, so
+        #: replica-free clusters execute the exact same instruction
+        #: sequence as before the subsystem existed.
+        self.groups = groups or {}
         self.telemetry = sim.telemetry
         self.check = sim.check
         self.retry_policy = RetryPolicy(
@@ -141,7 +148,9 @@ class Cluster:
         self.coord_failed_by_reason = {}
         self.single_home_txns = 0
         self.cross_shard_txns = 0
+        self.replica_read_txns = 0
         tm = self.telemetry
+        self._t_replica_reads = tm.counter("cluster.replica_reads")
         self._t_committed = tm.counter("cluster.txns_committed")
         self._t_failed = tm.counter("cluster.txns_failed")
         self._t_retries = tm.counter("cluster.txn_retries")
@@ -177,6 +186,15 @@ class Cluster:
             self.single_home_txns += 1
             self._t_single_home.inc()
             self._live[ctx] = {"kind": "single"}
+            replica = self._route_read(shard, spec)
+            if replica is not None:
+                self.replica_read_txns += 1
+                self._t_replica_reads.inc()
+                self._spawn(
+                    self._replica_read(ctx, spec, shard, replica),
+                    "coord.txn%s" % (ctx.txn_id,),
+                )
+                return True
             self._spawn(
                 self._single_home(ctx, spec, self.nodes[shard]),
                 "coord.txn%s" % (ctx.txn_id,),
@@ -247,6 +265,64 @@ class Cluster:
                 self.COORD, node.node_id, self.topology.request_bytes
             )
             node.engine.submit(ctx, spec)
+        finally:
+            self._live.pop(ctx, None)
+            self._txn_done()
+
+    # ------------------------------------------------------------------
+    # Replica reads (repro.replication)
+    # ------------------------------------------------------------------
+
+    def _route_read(self, shard, spec):
+        """The replica to serve this transaction, or None for the primary.
+
+        Only single-home transactions made entirely of non-locking
+        selects qualify — anything that writes or locks must see the
+        primary.  :meth:`ReplicaGroup.pick_replica` applies the staleness
+        bound; when no live replica is inside it the read falls back to
+        the primary, so bounded-staleness reads never fail.
+        """
+        group = self.groups.get(shard)
+        if group is None or group.config.read_policy != "replica_ok":
+            return None
+        for op in spec.ops:
+            if op.kind != "select" or op.lock is not None:
+                return None
+        return group.pick_replica(self.sim.now)
+
+    def _replica_read(self, ctx, spec, shard, replica):
+        """One read-only transaction served by a replica.
+
+        Request hop out, per-statement CPU on the replica, response hop
+        back — no locks, no engine queueing, no retry loop.  The
+        routing-time staleness is what the recorder logs: that is the
+        value the router's bound decision was made on, so the
+        ``repl-stale-read-beyond-bound`` oracle audits the policy rather
+        than whatever lag accrued mid-flight.
+        """
+        group = self.groups[shard]
+        cfg = group.config
+        try:
+            tracer = self.tracer
+            tracer.begin_transaction(ctx)
+            staleness = group.staleness(replica, self.sim.now)
+            yield from self.network.send(
+                self.COORD, replica.net_id, cfg.read_request_bytes
+            )
+            for _ in spec.ops:
+                yield cfg.replica_read_cpu
+            yield from self.network.send(
+                replica.net_id, self.COORD, self.topology.ack_bytes
+            )
+            group.replica_reads += 1
+            check = self.check
+            if check.enabled:
+                check.repl_read(
+                    ctx.txn_id, shard, replica.idx, staleness,
+                    cfg.staleness_bound_us,
+                )
+            tracer.end_transaction(ctx, committed=True)
+            self.observe_txn(ctx, True)
         finally:
             self._live.pop(ctx, None)
             self._txn_done()
@@ -599,6 +675,10 @@ class Cluster:
         else:
             branch.reason = branch.reason or "remote_abort"
             engine.telemetry.counter(engine.name + ".branches_aborted").inc()
+        if commit:
+            repl = engine.replication
+            if repl is not None and branch.redo_bytes:
+                yield from repl.commit_barrier(ctx, branch.redo_bytes)
         yield from engine._branch_release(ctx, branch)
         if check.enabled:
             check.branch_finished(ctx, commit)

@@ -184,6 +184,10 @@ class Engine:
         self.retry_rng = retry_rng
         self.max_queue_depth = max_queue_depth
         self.txn_deadline = txn_deadline
+        # Set by the cluster builder when this engine is a replica
+        # group's primary (repro.replication); None otherwise, and the
+        # commit paths guard on it with a single attribute test.
+        self.replication = None
         self.queue = WaitQueue(sim, name=self.name + ".submit")
         self.workers = [Worker(i) for i in range(n_workers)]
         self._draining = False
@@ -448,6 +452,13 @@ class Engine:
         else:
             branch.reason = branch.reason or "remote_abort"
             self.telemetry.counter(self.name + ".branches_aborted").inc()
+        if commit:
+            repl = self.replication
+            if repl is not None and branch.redo_bytes:
+                # The replication ack gates the branch's 2PC ack (and
+                # thus the client response) with locks still held —
+                # same AFTER_SYNC discipline as the single-home path.
+                yield from repl.commit_barrier(ctx, branch.redo_bytes)
         yield from self._branch_release(ctx, branch)
         if check.enabled:
             check.branch_finished(ctx, commit)
@@ -559,7 +570,8 @@ class Engine:
             self.check.locks_released(ctx, self.sim.now)
         self._give_up(ctx, "node_crash")
 
-    def recover(self, report, crash_time):
+    def recover(self, report, crash_time, replay=True,
+                stall_frame="recovery_replay"):
         """Generator: ARIES-style restart, called after the restart delay.
 
         Analysis + redo collapse to replaying the durable WAL prefix as
@@ -568,8 +580,17 @@ class Engine:
         store.  In-doubt branches get their locks re-granted *before* the
         worker pool is rebuilt, so no new transaction can slip past a
         prepared branch's writes while its fate is undecided.
+
+        Failover (``repro.replication``) restarts the engine *warm*:
+        the promoted replica's applied state is current, so the caller
+        passes ``replay=False`` (the promotion already replayed the
+        shipped-but-unapplied tail) and ``stall_frame="promote_wait"``
+        so queued transactions attribute the outage to failover rather
+        than redo replay.
         """
-        replayed = yield from self._recovery_replay()
+        replayed = 0
+        if replay:
+            replayed = yield from self._recovery_replay()
         report.wal_bytes = replayed
         for branch, held in report.indoubt:
             self._regrant_locks(branch.ctx, held)
@@ -586,17 +607,18 @@ class Engine:
                 self.queue.put(_Shutdown)
         now = self.sim.now
         tracer = self.tracer
-        if "recovery_replay" in tracer.instrumented:
+        if stall_frame in tracer.instrumented:
             # Transactions that queued while the node was down spent this
-            # stretch waiting on recovery, not on execution — attribute
-            # it so the variance tree can rank recovery stalls.
+            # stretch waiting on recovery (or failover), not on execution
+            # — attribute it so the variance tree can rank the stalls.
+            site = "replication" if stall_frame == "promote_wait" else "recovery"
             for item in self.queue._items:
                 if item is _Shutdown or item.__class__ is Branch:
                     continue
                 ctx = item[0]
                 dt = now - max(crash_time, ctx.birth)
                 if dt > 0.0:
-                    tracer.record(ctx, "recovery_replay", dt, site="recovery")
+                    tracer.record(ctx, stall_frame, dt, site=site)
         self.telemetry.event(
             "node.recovered",
             engine=self.name,

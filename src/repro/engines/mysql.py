@@ -273,6 +273,13 @@ class MySQLEngine(Engine):
         yield from self.tracer.traced(
             ctx, "innobase_commit", self._commit(ctx, redo_bytes)
         )
+        repl = self.replication
+        if repl is not None and redo_bytes:
+            # Lossless semisync (AFTER_SYNC): the ack wait happens with
+            # locks still held, so replication latency stretches lock
+            # hold times — a cross-layer coupling the variance tree
+            # surfaces as repl_ack_wait feeding lock waits downstream.
+            yield from repl.commit_barrier(ctx, redo_bytes)
         yield from self.lockmgr.release_all_timed(ctx)
         return True
 
@@ -468,6 +475,9 @@ class MySQLEngine(Engine):
         yield self.config.commit_cpu
         if redo_bytes:
             yield from self.redo.commit(ctx, redo_bytes)
+        repl = self.replication
+        if repl is not None and redo_bytes:
+            yield from repl.commit_barrier(ctx, redo_bytes)
         yield from self.lockmgr.release_all_timed(ctx)
         return True
 

@@ -187,6 +187,12 @@ class PostgresEngine(Engine):
             "CommitTransaction",
             self._commit_transaction(ctx, redo_bytes, predicate_locks),
         )
+        repl = self.replication
+        if repl is not None and redo_bytes:
+            # Synchronous-replication semantics: the ack wait happens
+            # with locks still held (PostgreSQL releases at true commit
+            # return), so replication latency stretches lock hold times.
+            yield from repl.commit_barrier(ctx, redo_bytes)
         self.lockmgr.release_all(ctx)
         return True
 

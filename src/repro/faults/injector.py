@@ -178,6 +178,22 @@ class FaultInjector:
         return start + duration
 
     # ------------------------------------------------------------------
+    # Replica apply lag (repro/replication)
+    # ------------------------------------------------------------------
+
+    def replica_apply_stall(self, now):
+        """Extra stall per applied record at ``now`` (0 outside windows)."""
+        plan = self.plan
+        if not plan.replica_lag_windows:
+            return 0.0
+        index = in_window(plan.replica_lag_windows, now)
+        if index is None:
+            return 0.0
+        start, duration = plan.replica_lag_windows[index]
+        self._announce("replica_lag", index, start, duration)
+        return plan.replica_lag_stall_us
+
+    # ------------------------------------------------------------------
     # Node crashes (repro/recovery)
     # ------------------------------------------------------------------
 
@@ -244,6 +260,9 @@ class NullFaultInjector:
 
     def net_partition_until(self, src, dst, now):
         return None
+
+    def replica_apply_stall(self, now):
+        return 0.0
 
     def arrival_rate_factor(self, now):
         return 1.0

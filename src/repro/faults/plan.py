@@ -38,6 +38,10 @@ fault classes, each injected at a different layer of the stack:
   recovery manager replays the durable WAL prefix and resolves in-doubt
   2PC branches before the node rejoins (see docs/recovery.md).  Crash
   instants are plain plan literals: scheduling one draws no RNG.
+- **Replica apply lag** (``repro.replication``): during a window every
+  record applied by a replica's apply loop pays an extra stall — the
+  slow-replica regime that grows staleness, diverts bounded-staleness
+  reads back to the primary, and stretches sync/semisync commit acks.
 
 Windows are ``(start, duration)`` pairs in virtual microseconds.  Windows
 and probability-zero faults cost *nothing* when inactive: window checks
@@ -122,6 +126,9 @@ class FaultPlan:
         # -- whole-node crashes (repro/recovery) ----------------------
         node_crash_times=(),
         node_restart_delay=5_000.0,
+        # -- replica apply lag (repro/replication) --------------------
+        replica_lag_windows=(),
+        replica_lag_stall_us=500.0,
     ):
         self.name = str(name)
         self.brownout_windows = _check_windows("brownout_windows", brownout_windows)
@@ -202,6 +209,15 @@ class FaultPlan:
             or self.node_restart_delay < 0
         ):
             raise ValueError("node_restart_delay must be finite and >= 0")
+        self.replica_lag_windows = _check_windows(
+            "replica_lag_windows", replica_lag_windows
+        )
+        self.replica_lag_stall_us = float(replica_lag_stall_us)
+        if (
+            not math.isfinite(self.replica_lag_stall_us)
+            or self.replica_lag_stall_us <= 0
+        ):
+            raise ValueError("replica_lag_stall_us must be finite and > 0")
 
     @property
     def enabled(self):
@@ -215,6 +231,7 @@ class FaultPlan:
             or self.net_delay_windows
             or self.partition_windows
             or self.node_crash_times
+            or self.replica_lag_windows
         )
 
     def __repr__(self):
@@ -319,6 +336,16 @@ def _plan_node_crash(**kw):
     return FaultPlan(**base)
 
 
+def _plan_replica_lag(**kw):
+    base = dict(
+        name="replica-lag",
+        replica_lag_windows=((300_000.0, 300_000.0),),
+        replica_lag_stall_us=500.0,
+    )
+    base.update(kw)
+    return FaultPlan(**base)
+
+
 def _plan_coord_crash(**kw):
     base = dict(
         name="coord-crash",
@@ -339,6 +366,7 @@ NAMED_PLANS = {
     "net-partition": _plan_net_partition,
     "node-crash": _plan_node_crash,
     "coord-crash": _plan_coord_crash,
+    "replica-lag": _plan_replica_lag,
 }
 
 
@@ -366,6 +394,9 @@ FUZZ_FAULT_KINDS = (
 )
 
 FUZZ_NETWORK_FAULT_KINDS = ("net-delay", "partition", "coord-crash")
+
+#: Fault kinds that only make sense when the case configures replicas.
+FUZZ_REPLICATION_FAULT_KINDS = ("replica-lag",)
 
 
 def random_plan_kwargs(rng, kind, horizon_us):
@@ -415,6 +446,11 @@ def random_plan_kwargs(rng, kind, horizon_us):
         return {
             "node_crash_times": ((0, round(rng.uniform(0.1, 0.6) * horizon_us, 1)),),
             "node_restart_delay": round(rng.uniform(2_000.0, 20_000.0), 1),
+        }
+    if kind == "replica-lag":
+        return {
+            "replica_lag_windows": (window(),),
+            "replica_lag_stall_us": round(rng.uniform(200.0, 2_000.0), 1),
         }
     if kind == "coord-crash":
         # Crash the 2PC coordinator mid-run (clustered topologies only).

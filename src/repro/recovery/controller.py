@@ -72,8 +72,20 @@ def _crash_node(sim, plan, cluster, node, victim, target):
             report.lost,
             tuple(branch.ctx.txn_id for branch, _held in report.indoubt),
         )
-    yield plan.node_restart_delay
-    yield from victim.recover(report, crash_time)
+    group = cluster.groups.get(target) if cluster is not None else None
+    if group is not None and group.live_replicas():
+        # Failover instead of restart-in-place: promote the most-caught-up
+        # replica (it replays its shipped-but-unapplied tail), then bring
+        # the engine back *warm* — the promotee's state is current, so
+        # there is no restart delay and no WAL replay.  Transactions
+        # queued across the outage record the stall as ``promote_wait``.
+        yield from group.promote(crash_time)
+        yield from victim.recover(
+            report, crash_time, replay=False, stall_frame="promote_wait"
+        )
+    else:
+        yield plan.node_restart_delay
+        yield from victim.recover(report, crash_time)
     if cluster is None:
         return
     # The node is back and its in-doubt branches hold their re-granted

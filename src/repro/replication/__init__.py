@@ -1,0 +1,25 @@
+"""Primary/replica replication: WAL log shipping, acks, failover.
+
+Each shard of a clustered run becomes a *replica group* — the shard's
+engine as primary plus N log-consuming replicas fed over the simulated
+network.  See :mod:`repro.replication.group` for the machinery and
+:mod:`repro.replication.config` for the mode/read-policy knobs;
+``docs/replication.md`` documents the semantics.
+
+Runs with ``replicas=0`` (the default) construct nothing from this
+package — the equivalence goldens pin that.
+"""
+
+from repro.replication.config import ReplicationConfig
+from repro.replication.group import (
+    REPLICATION_FRAMES,
+    Replica,
+    ReplicaGroup,
+)
+
+__all__ = [
+    "REPLICATION_FRAMES",
+    "Replica",
+    "ReplicaGroup",
+    "ReplicationConfig",
+]

@@ -1,0 +1,92 @@
+"""Replication configuration: pure knobs, no simulator references.
+
+One :class:`ReplicationConfig` describes every shard's replica group —
+the cluster is symmetric, like production primary/replica fleets usually
+are.  Three shipping modes, named after the MySQL semisync family:
+
+- ``"sync"`` — the primary's commit waits until *every* live replica has
+  durably applied (relay-logged) the transaction's records and acked;
+- ``"semi_sync"`` — wait for acks from ``ack_k`` replicas (MySQL's
+  ``rpl_semi_sync_master_wait_for_slave_count``);
+- ``"async"`` — ship in the background, never wait (classic MySQL
+  statement-stream replication; commits are fast and lossy).
+
+``semi_sync`` with ``ack_k >= replicas`` is definitionally ``sync`` and
+with ``ack_k == 0`` definitionally ``async`` — the property tests in
+``tests/test_replication.py`` pin both identities byte-for-byte.
+
+Read routing: ``read_policy="primary"`` sends everything to the primary
+(replicas are pure failover spares); ``"replica_ok"`` lets the router
+send a read-only transaction to the most-caught-up replica whose
+*staleness bound* holds.  Staleness of a replica at virtual time ``t``
+is ``0`` when it has applied everything ever shipped, else ``t -
+commit_time(last applied record)`` — the age of its view.  A replica
+whose staleness exceeds ``staleness_bound_us`` is skipped; if no replica
+qualifies the read falls back to the primary (never fails).  The
+recorder logs every replica read with its staleness so the
+``repl-stale-read-beyond-bound`` oracle can audit the bound offline.
+"""
+
+
+class ReplicationConfig:
+    """Per-shard replica-group shape + cost knobs (pure configuration)."""
+
+    MODES = ("sync", "semi_sync", "async")
+    READ_POLICIES = ("primary", "replica_ok")
+
+    def __init__(
+        self,
+        mode="semi_sync",
+        ack_k=1,
+        read_policy="primary",
+        staleness_bound_us=5_000.0,
+        ship_record_bytes=64,
+        ack_bytes=64,
+        read_request_bytes=256,
+        replica_read_cpu=3.0,
+        apply_disk=None,
+    ):
+        if mode not in self.MODES:
+            raise ValueError("unknown replication mode %r" % (mode,))
+        if read_policy not in self.READ_POLICIES:
+            raise ValueError("unknown read policy %r" % (read_policy,))
+        if ack_k < 0:
+            raise ValueError("ack_k must be >= 0")
+        if staleness_bound_us < 0:
+            raise ValueError("staleness_bound_us must be >= 0")
+        self.mode = mode
+        self.ack_k = ack_k
+        self.read_policy = read_policy
+        self.staleness_bound_us = staleness_bound_us
+        #: Shipping overhead per commit batch (log-event header + GTID).
+        self.ship_record_bytes = ship_record_bytes
+        self.ack_bytes = ack_bytes
+        self.read_request_bytes = read_request_bytes
+        #: CPU per statement served by a replica read.
+        self.replica_read_cpu = replica_read_cpu
+        #: Relay-log device config; defaults to the battery-backed profile
+        #: (relay appends are sequential, short and synchronous).
+        self.apply_disk = apply_disk
+
+    def required_acks(self, live_replicas):
+        """How many replica acks a commit must collect before returning.
+
+        Capped at the live replica count so a group that lost replicas
+        to failover degrades instead of deadlocking — the same choice
+        MySQL semisync makes when the last semisync slave disconnects.
+        """
+        if live_replicas <= 0:
+            return 0
+        if self.mode == "sync":
+            return live_replicas
+        if self.mode == "async":
+            return 0
+        return min(self.ack_k, live_replicas)
+
+    def __repr__(self):
+        return "<ReplicationConfig %s ack_k=%d read=%s bound=%.0fus>" % (
+            self.mode,
+            self.ack_k,
+            self.read_policy,
+            self.staleness_bound_us,
+        )

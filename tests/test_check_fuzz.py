@@ -18,9 +18,6 @@ marked ``fuzz_smoke`` and skipped in the default run (like
 """
 
 import json
-import os
-import subprocess
-import sys
 
 import pytest
 from hypothesis import given, settings
@@ -41,6 +38,8 @@ from repro.check.fuzz import (
 )
 from repro.faults.plan import FaultPlan
 
+from tests.util import assert_hash_seed_invariant
+
 
 # ----------------------------------------------------------------------
 # Generator properties (no simulation runs; keep hypothesis fast)
@@ -59,6 +58,14 @@ def test_make_case_is_pure(seed):
     assert a.engine != "voltdb" or a.num_shards == 1
     assert 30 <= a.n_txns <= 120
     assert a.fault_kind is not None and a.fault_kwargs
+    assert 0 <= a.replicas <= 2
+    assert a.engine != "voltdb" or a.replicas == 0
+    if a.replicas:
+        assert a.repl_kwargs["mode"] in ("sync", "semi_sync", "async")
+        assert a.repl_kwargs["read_policy"] in ("primary", "replica_ok")
+    else:
+        assert a.repl_kwargs == {}
+        assert a.fault_kind != "replica-lag"
 
 
 @given(seed=st.integers(min_value=0, max_value=10_000))
@@ -72,14 +79,25 @@ def test_case_builds_valid_config(seed):
 def _case_size(case):
     """A well-founded shrink order: every candidate must be < its parent.
 
-    Node-crash plans add a fourth dimension — total crash time — so the
-    crash-instant-halving candidates (same txn count, same kwargs keys)
-    still strictly decrease.
+    Node-crash plans add a crash-time dimension so the instant-halving
+    candidates (same txn count, same kwargs keys) still strictly
+    decrease; replication adds a complexity score (replica count, then
+    mode/read-policy simplicity) so mode-collapsing candidates do too.
     """
     crash_total = sum(
         t for _target, t in case.fault_kwargs.get("node_crash_times", ())
     )
-    return (case.n_txns, case.num_shards, len(case.fault_kwargs), crash_total)
+    repl_complexity = 0
+    if case.replicas:
+        repl_complexity = 10 * case.replicas
+        if case.repl_kwargs.get("mode") != "sync":
+            repl_complexity += 2
+        if case.repl_kwargs.get("read_policy") == "replica_ok":
+            repl_complexity += 1
+    return (
+        case.n_txns, case.num_shards, len(case.fault_kwargs),
+        repl_complexity, crash_total,
+    )
 
 
 @given(seed=st.integers(min_value=0, max_value=10_000))
@@ -199,19 +217,8 @@ def test_cross_process_hash_seed_fuzzer_determinism():
         "r = fuzz_one(0); "
         "print(json.dumps([r.shrunk.astuple(), r.reproducer]))"
     )
-    outputs = []
-    for hash_seed in ("0", "12345"):
-        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
-        proc = subprocess.run(
-            [sys.executable, "-c", code, json.dumps(sys.path)],
-            capture_output=True,
-            text=True,
-            env=env,
-            check=True,
-        )
-        outputs.append(proc.stdout)
-    assert outputs[0] == outputs[1]
-    shrunk, reproducer = json.loads(outputs[0])
+    output = assert_hash_seed_invariant(code)
+    shrunk, reproducer = json.loads(output)
     assert "def test_fuzz_reproducer_seed_0" in reproducer
 
 
@@ -251,3 +258,32 @@ def test_fuzz_smoke_25_seeds():
         shard_counts.add(report.case.num_shards)
     assert engines == {"mysql", "postgres", "voltdb"}
     assert shard_counts == {1, 2, 3, 4}
+
+
+@pytest.mark.fuzz_smoke
+def test_fuzz_smoke_replication_100_seeds():
+    """Every replicated case in the first 100 seeds must check clean —
+    including the replication oracle family — and the sweep must cover
+    all three modes, both read policies and the replica-lag fault."""
+    from repro.check.oracles import check_replication
+
+    modes = set()
+    policies = set()
+    fault_kinds = set()
+    replicated = 0
+    for seed in range(100):
+        case = make_case(seed)
+        if not case.replicas:
+            continue
+        replicated += 1
+        violations, result = run_case(case)
+        assert violations == [], "seed %d: %r" % (seed, violations[:5])
+        assert check_replication(result.history) == []
+        assert sum(result.outcome_counts.values()) == case.n_txns
+        modes.add(case.repl_kwargs["mode"])
+        policies.add(case.repl_kwargs["read_policy"])
+        fault_kinds.add(case.fault_kind)
+    assert replicated >= 20, "seed mix lost its replicated coverage"
+    assert modes == {"sync", "semi_sync", "async"}
+    assert policies == {"primary", "replica_ok"}
+    assert "replica-lag" in fault_kinds

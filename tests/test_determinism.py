@@ -11,14 +11,13 @@ breaks these before it can silently skew a figure.
 """
 
 import json
-import os
-import subprocess
-import sys
 
 import pytest
 
 from repro.bench import paperconfig as pc
 from repro.bench.runner import run_experiment
+
+from tests.util import assert_hash_seed_invariant
 
 
 def tiny_config(engine):
@@ -86,18 +85,7 @@ def test_cross_process_hash_seed_determinism():
         "r = run_experiment(pc.mysql_128wh_experiment('VATS', n_txns=300)); "
         "print(json.dumps([sum(r.latencies), r.sim.now]))"
     )
-    outputs = []
-    for hash_seed in ("0", "12345"):
-        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
-        proc = subprocess.run(
-            [sys.executable, "-c", code, json.dumps(sys.path)],
-            capture_output=True,
-            text=True,
-            env=env,
-            check=True,
-        )
-        outputs.append(proc.stdout)
-    assert outputs[0] == outputs[1]
+    assert_hash_seed_invariant(code)
 
 
 def test_cross_process_hash_seed_determinism_clustered():
@@ -116,19 +104,8 @@ def test_cross_process_hash_seed_determinism_clustered():
         "print(json.dumps([sum(r.latencies), r.sim.now, "
         "sorted(r.abort_counts.items()), r.engine.cross_shard_txns]))"
     )
-    outputs = []
-    for hash_seed in ("0", "12345"):
-        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
-        proc = subprocess.run(
-            [sys.executable, "-c", code, json.dumps(sys.path)],
-            capture_output=True,
-            text=True,
-            env=env,
-            check=True,
-        )
-        outputs.append(proc.stdout)
-    assert outputs[0] == outputs[1]
-    assert json.loads(outputs[0])[3] > 0
+    output = assert_hash_seed_invariant(code)
+    assert json.loads(output)[3] > 0
 
 
 def test_telemetry_flag_does_not_change_results():

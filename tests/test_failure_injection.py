@@ -2,9 +2,6 @@
 and the deterministic fault-injection subsystem (``repro.faults``)."""
 
 import json
-import os
-import subprocess
-import sys
 
 import pytest
 from hypothesis import given, settings
@@ -20,6 +17,8 @@ from repro.lockmgr.scheduling import FCFSScheduler, VATSScheduler
 from repro.sim.kernel import Timeout
 from repro.sim.rand import Streams
 from repro.wal.mysql_log import FlushPolicy
+
+from tests.util import assert_hash_seed_invariant
 
 
 class TestCrashLoss:
@@ -241,18 +240,7 @@ class TestChaosDeterminism:
             "print(json.dumps([sum(r.latencies), r.sim.now, "
             "r.sim.faults.io_errors, r.sim.faults.worker_crashes]))"
         )
-        outputs = []
-        for hash_seed in ("0", "424242"):
-            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
-            proc = subprocess.run(
-                [sys.executable, "-c", code, json.dumps(sys.path)],
-                capture_output=True,
-                text=True,
-                env=env,
-                check=True,
-            )
-            outputs.append(proc.stdout)
-        assert outputs[0] == outputs[1]
+        assert_hash_seed_invariant(code, hash_seeds=("0", "424242"))
 
 
 class TestFaultClasses:

@@ -22,15 +22,14 @@ digest in interpreters with different ``PYTHONHASHSEED``.
 """
 
 import json
-import os
-import subprocess
-import sys
 
 import pytest
 
 from repro.bench.digest import run_digest
 from repro.bench.runner import ExperimentConfig, run_experiment
 from repro.faults.plan import FaultPlan
+
+from tests.util import assert_hash_seed_invariant
 
 
 def _single_node_config(engine, **overrides):
@@ -196,19 +195,8 @@ def test_post_crash_digest_cross_process():
         "print(json.dumps([run_digest(r), "
         "sorted(r.outcome_counts.items()), r.fault_counts]))"
     )
-    outputs = []
-    for hash_seed in ("0", "12345"):
-        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
-        proc = subprocess.run(
-            [sys.executable, "-c", code, json.dumps(sys.path)],
-            capture_output=True,
-            text=True,
-            env=env,
-            check=True,
-        )
-        outputs.append(proc.stdout)
-    assert outputs[0] == outputs[1]
-    digest, outcomes, fault_counts = json.loads(outputs[0])
+    output = assert_hash_seed_invariant(code)
+    digest, outcomes, fault_counts = json.loads(output)
     assert fault_counts["node_crashes"] == 2
     assert sum(count for _outcome, count in outcomes) == 80
 

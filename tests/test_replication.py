@@ -1,0 +1,256 @@
+"""Replication semantics: mode identities, read routing, oracle teeth.
+
+Three layers:
+
+- **Mode identities** (hypothesis): ``semi_sync`` with ``ack_k >= N`` is
+  definitionally ``sync`` and with ``ack_k == 0`` definitionally
+  ``async``.  Identical required-ack accounting must mean *byte-identical
+  runs* — the digests pin the whole execution, not just the counters.
+- **Read routing**: ``replica_ok`` serves non-locking read-only
+  transactions from replicas within the staleness bound; everything
+  else stays on the primary; a zero bound still never fails a read
+  (primary fallback).
+- **Oracle teeth**: each planted ``repro.check._test_hooks`` corruption
+  mode and each hand-built bad history must trip exactly its rule —
+  a replication checker that never rejects is indistinguishable from no
+  checker.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.digest import run_digest
+from repro.bench.runner import ExperimentConfig, run_experiment
+from repro.check import _test_hooks
+from repro.check.oracles import check_replication
+from repro.check.recorder import History, ReplRec
+from repro.replication import ReplicationConfig
+
+pytestmark = []
+
+
+def _run(mode, ack_k, replicas, seed, **overrides):
+    kwargs = dict(
+        engine="mysql",
+        workload="ycsb",
+        workload_kwargs={"scale_factor": 1, "rows_per_sf": 32,
+                         "read_fraction": 0.5},
+        n_txns=40,
+        rate_tps=500.0,
+        seed=seed,
+        replicas=replicas,
+        replication=ReplicationConfig(mode=mode, ack_k=ack_k),
+        check=True,
+    )
+    kwargs.update(overrides)
+    return run_experiment(ExperimentConfig(**kwargs))
+
+
+# ----------------------------------------------------------------------
+# Config unit behaviour
+# ----------------------------------------------------------------------
+
+
+@given(
+    ack_k=st.integers(min_value=0, max_value=8),
+    live=st.integers(min_value=0, max_value=8),
+)
+@settings(max_examples=100, deadline=None)
+def test_required_acks_identities(ack_k, live):
+    sync = ReplicationConfig(mode="sync")
+    semi = ReplicationConfig(mode="semi_sync", ack_k=ack_k)
+    async_ = ReplicationConfig(mode="async")
+    assert async_.required_acks(live) == 0
+    assert sync.required_acks(live) == max(0, live)
+    assert semi.required_acks(live) == min(ack_k, max(0, live))
+    if ack_k >= live:
+        assert semi.required_acks(live) == sync.required_acks(live)
+    if ack_k == 0:
+        assert semi.required_acks(live) == async_.required_acks(live)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"mode": "chained"},
+        {"read_policy": "nearest"},
+        {"ack_k": -1},
+        {"staleness_bound_us": -1.0},
+    ],
+)
+def test_config_validation(kwargs):
+    with pytest.raises(ValueError):
+        ReplicationConfig(**kwargs)
+
+
+def test_experiment_config_rejects_negative_replicas():
+    with pytest.raises(ValueError):
+        ExperimentConfig(engine="mysql", replicas=-1)
+
+
+# ----------------------------------------------------------------------
+# Mode identities: equal ack accounting must mean byte-identical runs
+# ----------------------------------------------------------------------
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=50),
+    replicas=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=6, deadline=None)
+def test_semisync_full_quorum_is_sync(seed, replicas):
+    a = run_digest(_run("sync", 1, replicas, seed))
+    b = run_digest(_run("semi_sync", replicas, replicas, seed))
+    assert a == b
+
+
+@given(seed=st.integers(min_value=0, max_value=50))
+@settings(max_examples=6, deadline=None)
+def test_semisync_zero_quorum_is_async(seed):
+    a = run_digest(_run("async", 1, 2, seed))
+    b = run_digest(_run("semi_sync", 0, 2, seed))
+    assert a == b
+
+
+def test_sync_pays_ack_wait_and_async_does_not():
+    """Same run, sync vs async: the ack barrier must cost virtual time.
+    Sync commits rank ``repl_ack_wait`` in the variance tree; async
+    commits never wait so the frame must be absent entirely."""
+    from repro.core.variance_tree import VarianceTree
+
+    sync = _run("sync", 1, 2, seed=9)
+    async_ = _run("async", 1, 2, seed=9)
+    assert sync.check_report() == []
+    assert async_.check_report() == []
+    assert VarianceTree(sync.traces).name_shares().get("repl_ack_wait", 0.0) > 0.0
+    assert "repl_ack_wait" not in VarianceTree(async_.traces).name_shares()
+
+
+# ----------------------------------------------------------------------
+# Read routing
+# ----------------------------------------------------------------------
+
+
+def _read_policy_run(staleness_bound_us, seed=13):
+    return run_experiment(ExperimentConfig(
+        engine="mysql",
+        workload="tpcc",
+        workload_kwargs={"warehouses": 4},
+        n_txns=80,
+        rate_tps=600.0,
+        seed=seed,
+        replicas=2,
+        replication=ReplicationConfig(
+            mode="async",
+            read_policy="replica_ok",
+            staleness_bound_us=staleness_bound_us,
+        ),
+        check=True,
+    ))
+
+
+def test_replica_ok_routes_read_only_transactions():
+    result = _read_policy_run(staleness_bound_us=50_000.0)
+    assert result.check_report() == []
+    reads = [r for r in result.history.repl if r.kind == "read"]
+    assert reads, "replica_ok must serve some read-only transactions"
+    for rec in reads:
+        assert rec.staleness <= rec.bound
+        assert rec.replica in (0, 1)
+    # Replica-served transactions still reach exactly one outcome each.
+    assert sum(result.outcome_counts.values()) == 80
+
+
+def test_primary_policy_never_routes_to_replicas():
+    result = run_experiment(ExperimentConfig(
+        engine="mysql",
+        workload="tpcc",
+        workload_kwargs={"warehouses": 4},
+        n_txns=80,
+        rate_tps=600.0,
+        seed=13,
+        replicas=2,
+        replication=ReplicationConfig(mode="async", read_policy="primary"),
+        check=True,
+    ))
+    assert result.check_report() == []
+    assert [r for r in result.history.repl if r.kind == "read"] == []
+
+
+def test_zero_staleness_bound_falls_back_to_primary():
+    """An unmeetable bound must divert reads to the primary, never fail
+    them: same outcome total, no read records beyond the bound."""
+    result = _read_policy_run(staleness_bound_us=0.0)
+    assert result.check_report() == []
+    assert sum(result.outcome_counts.values()) == 80
+    for rec in result.history.repl:
+        if rec.kind == "read":
+            assert rec.staleness <= 0.0
+
+
+# ----------------------------------------------------------------------
+# Oracle teeth: planted corruption and hand-built bad histories
+# ----------------------------------------------------------------------
+
+
+def _violation_rules(violations):
+    return {v.rule for v in violations}
+
+
+def test_planted_lost_ack_is_caught():
+    with _test_hooks.corrupted("repl_lost_ack"):
+        result = _run("sync", 1, 2, seed=7)
+        violations = result.check_report()
+    assert "repl-lost-ack-commit" in _violation_rules(violations)
+
+
+def test_planted_stale_read_is_caught():
+    with _test_hooks.corrupted("repl_stale_read"):
+        result = _read_policy_run(staleness_bound_us=50_000.0)
+        violations = result.check_report()
+    assert "repl-stale-read-beyond-bound" in _violation_rules(violations)
+
+
+def test_split_brain_double_primary_is_caught():
+    history = History(repl=[
+        ReplRec(1, "commit", 10.0, txn_id=1, shard=0, epoch=0, lsn=100,
+                required=1, acks=1),
+        ReplRec(2, "promote", 20.0, shard=0, epoch=1, replica=0, lsn=100),
+        # The deposed primary keeps acknowledging commits at epoch 0.
+        ReplRec(3, "commit", 30.0, txn_id=2, shard=0, epoch=0, lsn=200,
+                required=1, acks=1),
+    ])
+    rules = _violation_rules(check_replication(history))
+    assert rules == {"repl-split-brain-double-primary"}
+
+
+def test_promotion_lost_durable_record_is_caught():
+    history = History(repl=[
+        ReplRec(1, "commit", 10.0, txn_id=1, shard=0, epoch=0, lsn=100,
+                required=1, acks=1),
+        # Promotee only ever received up to LSN 40: the ack-satisfied
+        # commit at LSN 100 did not survive failover.
+        ReplRec(2, "promote", 20.0, shard=0, epoch=1, replica=1, lsn=40),
+    ])
+    rules = _violation_rules(check_replication(history))
+    assert rules == {"repl-promotion-lost-durable-record"}
+
+
+def test_async_commits_may_be_lost_on_failover():
+    """Async commits carry no ack promise; losing them at promotion is
+    legitimate (lossy failover), not a violation."""
+    history = History(repl=[
+        ReplRec(1, "commit", 10.0, txn_id=1, shard=0, epoch=0, lsn=100,
+                required=0, acks=0),
+        ReplRec(2, "promote", 20.0, shard=0, epoch=1, replica=1, lsn=40),
+    ])
+    assert check_replication(history) == []
+
+
+def test_faithful_replicated_history_checks_clean():
+    for mode in ("sync", "semi_sync", "async"):
+        result = _run(mode, 1, 2, seed=21)
+        assert result.check_report() == []
+        kinds = {r.kind for r in result.history.repl}
+        assert "commit" in kinds

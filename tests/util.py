@@ -1,0 +1,61 @@
+"""Shared helpers for the test suite.
+
+The repository's determinism discipline is "a run is a pure function of
+(config, seed) — in *any* interpreter".  In-process double runs share
+one ``PYTHONHASHSEED``, so they cannot see str-hash iteration-order
+bugs (a grant pass walking a ``set`` of lock ids, a dict-ordered merge);
+the cross-process check here runs the same code in two fresh
+interpreters with different hash seeds and requires byte-identical
+stdout.  It was duplicated across five test files before living here.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+#: Default interpreter hash seeds.  Two wildly different values: any
+#: str-hash-order dependence flips *some* iteration order between them.
+HASH_SEEDS = ("0", "12345")
+
+
+def hash_seed_outputs(code, hash_seeds=HASH_SEEDS):
+    """Run ``code`` once per hash seed in a fresh interpreter.
+
+    ``code`` is a ``python -c`` program; it receives this process's
+    ``sys.path`` as JSON in ``sys.argv[1]`` and must start with the
+    canonical prologue::
+
+        import sys, json; sys.path[:0] = json.loads(sys.argv[1]); ...
+
+    so the subprocess imports the same ``repro`` tree regardless of how
+    pytest was invoked.  Returns the list of captured stdouts, one per
+    seed, in order.
+    """
+    outputs = []
+    for hash_seed in hash_seeds:
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        proc = subprocess.run(
+            [sys.executable, "-c", code, json.dumps(sys.path)],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        outputs.append(proc.stdout)
+    return outputs
+
+
+def assert_hash_seed_invariant(code, hash_seeds=HASH_SEEDS):
+    """Assert ``code`` prints identical stdout under every hash seed.
+
+    Returns the common stdout so callers can assert on its content
+    (it is usually one ``json.dumps`` line).
+    """
+    outputs = hash_seed_outputs(code, hash_seeds)
+    for other in outputs[1:]:
+        assert outputs[0] == other, (
+            "output depends on PYTHONHASHSEED:\n--- %s ---\n%s\n--- %s ---\n%s"
+            % (hash_seeds[0], outputs[0], hash_seeds[-1], other)
+        )
+    return outputs[0]
