@@ -12,8 +12,6 @@ per session so that several benchmarks sharing a configuration (e.g.
 the FCFS baseline) pay for it once.
 """
 
-import enum
-
 import pytest
 
 from repro.bench.runner import run_experiment
@@ -38,57 +36,19 @@ _CACHE = {}
 
 
 def cached_run(config):
-    """Run an ExperimentConfig once per session (keyed by its fields)."""
-    key = _config_key(config)
+    """Run an ExperimentConfig once per session.
+
+    Keyed by the config's canonical content digest (repro.exec.schema)
+    — the same identity the executor's on-disk artifact cache uses.
+    The previous hand-rolled structural key (``_stable``/``_config_key``
+    here) is gone; the schema covers every field by construction.
+    Benchmarks get the live :class:`RunResult` (several poke at
+    ``.history`` or ``.sim``), so the cache stays in-memory.
+    """
+    key = config.config_digest()
     if key not in _CACHE:
         _CACHE[key] = run_experiment(config)
     return _CACHE[key]
-
-
-def _stable(value):
-    """A content-based (never identity-based) key for config values.
-
-    ``repr`` of a plain object embeds its memory address, and addresses
-    get reused — two *different* configs must never collide.
-    """
-    if isinstance(value, (str, int, float, bool, type(None))):
-        return value
-    if isinstance(value, enum.Enum):
-        return (type(value).__name__, value.value)
-    if isinstance(value, (list, tuple)):
-        return tuple(_stable(v) for v in value)
-    if isinstance(value, (set, frozenset)):
-        return tuple(sorted(_stable(v) for v in value))
-    if isinstance(value, dict):
-        return tuple(sorted((k, _stable(v)) for k, v in value.items()))
-    if hasattr(value, "__dict__"):
-        return (
-            type(value).__name__,
-            tuple(sorted((k, _stable(v)) for k, v in vars(value).items())),
-        )
-    return repr(value)
-
-
-def _config_key(config):
-    return (
-        config.engine,
-        config.workload,
-        _stable(config.workload_kwargs),
-        _stable(config.engine_config),
-        config.seed,
-        config.n_txns,
-        config.rate_tps,
-        config.warmup_fraction,
-        tuple(sorted(config.instrumented)),
-        config.probe_cost,
-        config.telemetry,
-        _stable(config.fault_plan),
-        config.num_shards,
-        _stable(config.topology),
-        config.replicas,
-        _stable(config.replication),
-        config.check,
-    )
 
 
 def median(values):

@@ -5,6 +5,7 @@ Usage::
 
     PYTHONPATH=src python scripts/fuzz_check.py --seeds 25
     PYTHONPATH=src python scripts/fuzz_check.py --start 100 --seeds 50
+    PYTHONPATH=src python scripts/fuzz_check.py --seeds 200 --jobs 4
 
 Each seed deterministically generates one (engine, workload, topology,
 scheduler, fault-plan) configuration via ``repro.check.fuzz.make_case``,
@@ -26,7 +27,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.check.fuzz import fuzz_one, make_case
+from repro.check.fuzz import fuzz_many
 
 
 def main(argv=None):
@@ -42,6 +43,12 @@ def main(argv=None):
         help="first seed (default 0)",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the seed sweep (default 1); the "
+             "cases are independent, so reports are identical at any "
+             "job count",
+    )
+    parser.add_argument(
         "--no-shrink", action="store_true",
         help="on failure, skip shrinking and print the raw case",
     )
@@ -53,17 +60,19 @@ def main(argv=None):
     fault_kinds = {}
     failures = []
     t0 = time.time()
-    for seed in seeds:
-        case = make_case(seed)
+    reports = fuzz_many(
+        seeds, jobs=args.jobs, shrink_on_failure=not args.no_shrink
+    )
+    for report in reports:
+        case = report.case
         engines_seen[case.engine] = engines_seen.get(case.engine, 0) + 1
         shard_counts[case.num_shards] = shard_counts.get(case.num_shards, 0) + 1
         fault_kinds[case.fault_kind] = fault_kinds.get(case.fault_kind, 0) + 1
-        report = fuzz_one(seed, shrink_on_failure=not args.no_shrink)
         status = "FAIL %d violation(s)" % len(report.violations) if report.failed else "ok"
         print(
             "seed %4d  %-8s %-5s shards=%d fault=%-10s n=%-3d  %s"
             % (
-                seed, case.engine, case.workload, case.num_shards,
+                report.seed, case.engine, case.workload, case.num_shards,
                 case.fault_kind or "none", case.n_txns, status,
             )
         )

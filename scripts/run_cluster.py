@@ -8,21 +8,28 @@ Usage::
         --remote-payment 0.15 --router range --check-determinism
     PYTHONPATH=src python scripts/run_cluster.py --shards 2 \\
         --engine postgres --plan net-delay --out events.jsonl
+    PYTHONPATH=src python scripts/run_cluster.py --shards 4 \\
+        --seeds 8 --jobs 4 --check-determinism
 
 Prints the single-home/cross-shard split, coordinator wait statistics
 (``dist_prepare_wait`` / ``dist_commit_wait``), per-node commit counts,
 per-reason abort totals and the latency summary, plus a content digest
-of the full metrics snapshot.  ``--check-determinism`` runs the same
-configuration twice and fails unless the digests match byte-for-byte.
+of the run (``repro.bench.digest.run_digest``).  ``--check-determinism``
+re-executes every configuration and fails unless the digests match
+byte-for-byte.
+
+``--seeds N`` fans out over N consecutive seeds and ``--jobs`` sets the
+process-pool width (``repro.exec``); the detailed report covers the
+first seed, subsequent seeds print one digest line each.
 """
 
 import argparse
-import hashlib
-import json
 import sys
 
-from repro.bench.runner import ExperimentConfig, run_experiment
+from repro.bench.digest import run_digest
+from repro.bench.runner import ExperimentConfig
 from repro.cluster import Topology
+from repro.exec import Executor
 from repro.faults import NAMED_PLANS, named_plan
 
 
@@ -44,16 +51,23 @@ def build_parser():
     parser.add_argument("--n-txns", type=int, default=600)
     parser.add_argument("--rate-tps", type=float, default=200.0)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--seeds", type=int, default=1,
+                        help="fan out over this many consecutive seeds "
+                             "(default 1)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the fan-out (default 1)")
     parser.add_argument("--plan", choices=sorted(NAMED_PLANS),
                         help="optional named fault plan from repro.faults")
     parser.add_argument("--check-determinism", action="store_true",
-                        help="run twice; fail unless digests match")
+                        help="re-execute every config; fail unless "
+                             "digests match")
     parser.add_argument("--out", metavar="FILE",
-                        help="write the telemetry event log (JSONL) here")
+                        help="write the telemetry event log (JSONL) here; "
+                             "first seed only with --seeds > 1")
     return parser
 
 
-def build_config(args):
+def build_config(args, seed):
     workload_kwargs = {
         "warehouses": args.warehouses,
         "remote_payment_prob": args.remote_payment,
@@ -67,7 +81,7 @@ def build_config(args):
         engine=args.engine,
         workload="tpcc",
         workload_kwargs=workload_kwargs,
-        seed=args.seed,
+        seed=seed,
         n_txns=args.n_txns,
         rate_tps=args.rate_tps,
         warmup_fraction=0.0,
@@ -77,63 +91,64 @@ def build_config(args):
     )
 
 
-def run_digest(result):
-    """Content digest of the run: full metrics snapshot + latency vector."""
-    payload = json.dumps(
-        [result.metrics_snapshot(), result.latencies, result.sim.now],
-        sort_keys=True,
-    )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
-
-
 def main(argv=None):
     args = build_parser().parse_args(argv)
-    config = build_config(args)
-    result = run_experiment(config)
-    cluster = result.engine
+    seeds = range(args.seed, args.seed + args.seeds)
+    configs = [build_config(args, seed) for seed in seeds]
+    executor = Executor(jobs=args.jobs)
+    artifacts = executor.run(configs)
+    first = artifacts[0]
+    stats = first.cluster_stats
 
-    print("engine=%s shards=%d router=%s seed=%d n_txns=%d plan=%s"
+    print("engine=%s shards=%d router=%s seed=%d n_txns=%d plan=%s jobs=%d"
           % (args.engine, args.shards, args.router, args.seed,
-             args.n_txns, args.plan or "none"))
+             args.n_txns, args.plan or "none", args.jobs))
     print("single_home=%d cross_shard=%d committed=%d failed=%d"
-          % (cluster.single_home_txns, cluster.cross_shard_txns,
-             len(result.log.committed), result.failed_txns))
+          % (stats["single_home_txns"], stats["cross_shard_txns"],
+             first.committed_count, first.failed_txns))
 
-    hists = result.metrics_snapshot()["histograms"]
+    hists = first.metrics_snapshot()["histograms"]
     for name in ("cluster.prepare_wait", "cluster.commit_wait"):
-        stats = hists.get(name, {"count": 0})
-        if stats["count"]:
+        stats_row = hists.get(name, {"count": 0})
+        if stats_row["count"]:
             print("%s: count=%d mean=%.0fus p99=%.0fus"
-                  % (name, stats["count"], stats["mean"], stats["p99"]))
+                  % (name, stats_row["count"], stats_row["mean"],
+                     stats_row["p99"]))
         else:
             print("%s: count=0" % (name,))
     for node_id in range(args.shards):
-        node = result.node_metrics_snapshot(node_id)["counters"]
+        node = first.node_metrics_snapshot(node_id)["counters"]
         print("  node%d: committed=%d branches_committed=%d"
               % (node_id,
                  node.get("%s.txns_committed" % args.engine, 0),
                  node.get("%s.branches_committed" % args.engine, 0)))
-    for label, counts in (("aborts", result.abort_counts),
-                          ("failed", result.failed_counts)):
+    for label, counts in (("aborts", first.abort_counts),
+                          ("failed", first.failed_counts)):
         for reason in sorted(counts):
             print("  %s.%s=%d" % (label, reason, counts[reason]))
-    summary = result.summary
+    summary = first.summary
     print("latency: mean=%.0fus p99=%.0fus variance=%.3g"
           % (summary.mean, summary.p99, summary.variance))
-    digest = run_digest(result)
-    print("digest=%s" % (digest,))
+    digests = [run_digest(artifact) for artifact in artifacts]
+    print("digest=%s" % (digests[0],))
+    for seed, digest in list(zip(seeds, digests))[1:]:
+        print("digest seed=%d %s" % (seed, digest))
 
     if args.out:
-        jsonl = result.event_log_jsonl()
+        jsonl = first.event_log_jsonl()
         with open(args.out, "w") as fh:
             fh.write(jsonl)
         print("wrote %d events to %s" % (len(jsonl.splitlines()), args.out))
 
     if args.check_determinism:
-        second = run_digest(run_experiment(build_config(args)))
-        if second != digest:
-            print("DETERMINISM FAILURE: %s != %s" % (digest, second))
-            return 1
+        # A second, fully independent execution of every config (the
+        # executor holds no cache here, so nothing is reused).
+        rerun = [run_digest(a) for a in executor.run(configs)]
+        for seed, one, two in zip(seeds, digests, rerun):
+            if one != two:
+                print("DETERMINISM FAILURE seed=%d: %s != %s"
+                      % (seed, one, two))
+                return 1
         print("determinism check passed (two runs, identical digests)")
     return 0
 

@@ -6,17 +6,26 @@ Usage::
     PYTHONPATH=src python scripts/run_fault_plan.py full-chaos
     PYTHONPATH=src python scripts/run_fault_plan.py io-errors \\
         --engine postgres --n-txns 500 --seed 7 --out events.jsonl
+    PYTHONPATH=src python scripts/run_fault_plan.py full-chaos \\
+        --seeds 16 --jobs 4
 
 Prints per-reason abort/failure counts, injected-fault totals and the
 latency summary; ``--out`` writes the structured telemetry event log as
 JSON lines (one event per line, keys sorted — byte-comparable across
 runs with the same seed and plan).
+
+``--seeds N`` fans the same plan out over N consecutive run seeds
+(``--seed`` up to ``--seed + N - 1``) through the execution layer
+(``repro.exec``); ``--jobs`` sets the process-pool width.  The per-seed
+runs are independent and deterministic, so the report is identical at
+any job count.
 """
 
 import argparse
 import sys
 
-from repro.bench.runner import ExperimentConfig, run_experiment
+from repro.bench.runner import ExperimentConfig
+from repro.exec import Executor
 from repro.faults import NAMED_PLANS, named_plan
 
 
@@ -35,42 +44,65 @@ def build_parser():
     parser.add_argument("--n-txns", type=int, default=600)
     parser.add_argument("--rate-tps", type=float, default=500.0)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--seeds", type=int, default=1,
+                        help="fan out over this many consecutive seeds "
+                             "(default 1)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the seed fan-out "
+                             "(default 1)")
     parser.add_argument("--out", metavar="FILE",
-                        help="write the telemetry event log (JSONL) here")
+                        help="write the telemetry event log (JSONL) here; "
+                             "first seed only with --seeds > 1")
     return parser
+
+
+def report_one(seed, artifact):
+    print("committed=%d failed=%d shed=%d" % (
+        artifact.committed_count, artifact.failed_txns, artifact.shed_txns))
+    for label, counts in (("aborts", artifact.abort_counts),
+                          ("failed", artifact.failed_counts)):
+        for reason in sorted(counts):
+            print("  %s.%s=%d" % (label, reason, counts[reason]))
+    for fault, count in sorted(artifact.fault_counts.items()):
+        print("  faults.%s=%d" % (fault, count))
+    summary = artifact.summary
+    print("latency: mean=%.0fus p99=%.0fus variance=%.3g"
+          % (summary.mean, summary.p99, summary.variance))
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
     plan = None if args.plan == "none" else named_plan(args.plan)
-    config = ExperimentConfig(
-        engine=args.engine,
-        workload=args.workload,
-        seed=args.seed,
-        n_txns=args.n_txns,
-        rate_tps=args.rate_tps,
-        warmup_fraction=0.0,
-        fault_plan=plan,
-    )
-    result = run_experiment(config)
+    seeds = range(args.seed, args.seed + args.seeds)
+    configs = [
+        ExperimentConfig(
+            engine=args.engine,
+            workload=args.workload,
+            seed=seed,
+            n_txns=args.n_txns,
+            rate_tps=args.rate_tps,
+            warmup_fraction=0.0,
+            fault_plan=plan,
+        )
+        for seed in seeds
+    ]
+    artifacts = Executor(jobs=args.jobs).run(configs)
 
-    committed = len(result.log.committed)
-    print("plan=%s engine=%s workload=%s seed=%d n_txns=%d"
-          % (args.plan, args.engine, args.workload, args.seed, args.n_txns))
-    print("committed=%d failed=%d shed=%d" % (
-        committed, result.failed_txns, result.shed_txns))
-    for label, counts in (("aborts", result.abort_counts),
-                          ("failed", result.failed_counts)):
-        for reason in sorted(counts):
-            print("  %s.%s=%d" % (label, reason, counts[reason]))
-    for fault, count in sorted(result.fault_counts.items()):
-        print("  faults.%s=%d" % (fault, count))
-    summary = result.summary
-    print("latency: mean=%.0fus p99=%.0fus variance=%.3g"
-          % (summary.mean, summary.p99, summary.variance))
+    print("plan=%s engine=%s workload=%s n_txns=%d seeds=%s jobs=%d"
+          % (args.plan, args.engine, args.workload, args.n_txns,
+             "%d..%d" % (seeds[0], seeds[-1]), args.jobs))
+    for seed, artifact in zip(seeds, artifacts):
+        if args.seeds > 1:
+            print("-- seed %d" % (seed,))
+        report_one(seed, artifact)
+    if args.seeds > 1:
+        means = [a.summary.mean for a in artifacts]
+        committed = sum(a.committed_count for a in artifacts)
+        print("aggregate: seeds=%d committed=%d mean(mean)=%.0fus"
+              % (args.seeds, committed, sum(means) / len(means)))
 
     if args.out:
-        jsonl = result.event_log_jsonl()
+        jsonl = artifacts[0].event_log_jsonl()
         with open(args.out, "w") as fh:
             fh.write(jsonl)
         print("wrote %d events to %s" % (len(jsonl.splitlines()), args.out))

@@ -104,6 +104,95 @@ def measure_macros(names=None, seed=MACRO_SEED, n_txns=MACRO_N_TXNS,
     return report
 
 
+#: The fixed multi-config sweep the execution layer is measured on:
+#: the mysql macro at consecutive seeds (independent, identical cost).
+EXEC_SWEEP_N_CONFIGS = 8
+EXEC_SWEEP_N_TXNS = 600
+
+
+def exec_sweep_configs(n_configs=EXEC_SWEEP_N_CONFIGS,
+                       n_txns=EXEC_SWEEP_N_TXNS, seed0=MACRO_SEED):
+    """The configs of the tracked executor sweep (seeds ``seed0``...)."""
+    return [
+        macro_config("mysql-tpcc-vats", seed=seed0 + i, n_txns=n_txns)
+        for i in range(n_configs)
+    ]
+
+
+def measure_exec_sweep(jobs_list=(1, 4), n_configs=EXEC_SWEEP_N_CONFIGS,
+                       n_txns=EXEC_SWEEP_N_TXNS, repeats=3, progress=None):
+    """Wall-clock the same sweep through each executor backend.
+
+    Backends are timed interleaved within every repeat (the PR-3
+    discipline: both sides see the same machine conditions), the
+    fastest repeat wins, and every backend's per-config run digests
+    must be byte-identical to the first backend's — the measurement
+    doubles as a parallel-equals-serial check.
+
+    ``cpu_count`` is recorded in the result because the speedup is
+    meaningless without it: a process pool cannot beat serial on a
+    single-core container, and near-linear scaling is only expected
+    when ``cpu_count >= jobs``.
+    """
+    import os
+
+    from repro.bench.digest import run_digest
+    from repro.exec.executor import Executor
+
+    configs = exec_sweep_configs(n_configs, n_txns)
+    walls = {jobs: [] for jobs in jobs_list}
+    digests = {}
+    for repeat in range(repeats):
+        for jobs in jobs_list:
+            if progress:
+                progress("exec sweep repeat %d/%d jobs=%d ..."
+                         % (repeat + 1, repeats, jobs))
+            start = time.perf_counter()
+            artifacts = Executor(jobs=jobs).run(configs)
+            walls[jobs].append(time.perf_counter() - start)
+            measured = [run_digest(artifact) for artifact in artifacts]
+            if jobs in digests and digests[jobs] != measured:
+                raise AssertionError(
+                    "jobs=%d produced different digests across repeats"
+                    % (jobs,)
+                )
+            digests[jobs] = measured
+    baseline_jobs = jobs_list[0]
+    for jobs in jobs_list[1:]:
+        if digests[jobs] != digests[baseline_jobs]:
+            raise AssertionError(
+                "jobs=%d artifacts are not byte-identical to jobs=%d"
+                % (jobs, baseline_jobs)
+            )
+    result = {
+        "n_configs": n_configs,
+        "n_txns": n_txns,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "digests_identical": True,
+        "wall_seconds": {
+            str(jobs): round(min(walls[jobs]), 4) for jobs in jobs_list
+        },
+        "wall_seconds_all": {
+            str(jobs): [round(w, 4) for w in sorted(walls[jobs])]
+            for jobs in jobs_list
+        },
+    }
+    base_wall = min(walls[baseline_jobs])
+    result["speedup_vs_jobs_%d" % baseline_jobs] = {
+        str(jobs): round(base_wall / min(walls[jobs]), 2)
+        for jobs in jobs_list[1:]
+    }
+    if result["cpu_count"] is not None and result["cpu_count"] < max(jobs_list):
+        result["note"] = (
+            "measured with cpu_count < max jobs: workers serialise on the "
+            "available cores and spawn/pickling overhead dominates, so the "
+            "recorded speedup is a floor; near-linear scaling expected "
+            "when cores >= jobs"
+        )
+    return result
+
+
 def check_regression(baseline_events_per_sec, measured_events_per_sec,
                      tolerance=3.0):
     """Fail-message (or None) for the CI perf-smoke comparison.

@@ -20,6 +20,7 @@ that, so single-node runs stay byte-identical to the pre-cluster tree.
 """
 
 import gc
+import inspect
 
 from repro.check.recorder import HistoryRecorder
 from repro.cluster import Cluster, Node, Topology, make_router
@@ -32,9 +33,15 @@ from repro.engines.voltdb import VoltDBConfig, VoltDBEngine, voltdb_callgraph
 from repro.sim.kernel import Simulator
 from repro.sim.network import Network
 from repro.sim.rand import Streams
+from repro.exec.schema import register_config
 from repro.sim.stats import summarize
-from repro.telemetry import NULL_REGISTRY, MetricsRegistry, split_label
-from repro.workloads import make_workload
+from repro.telemetry import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    snapshot_node_slice,
+    snapshot_rollup,
+)
+from repro.workloads import WORKLOADS, make_workload
 from repro.workloads.driver import LoadDriver
 
 _ENGINES = {
@@ -49,8 +56,42 @@ def engine_callgraph(engine_name):
     return _ENGINES[engine_name][2]()
 
 
+def _validate_workload(workload, workload_kwargs):
+    """Reject unknown workload names / kwarg keys at construction time.
+
+    ``make_workload`` would eventually raise for both, but only once the
+    run is already assembling — mid-sweep, or inside a pool worker.
+    Failing in the :class:`ExperimentConfig` constructor keeps bad
+    configs from ever entering an executor batch.
+    """
+    try:
+        workload_cls = WORKLOADS[workload.lower()]
+    except (KeyError, AttributeError):
+        raise ValueError(
+            "unknown workload %r (known: %s)"
+            % (workload, ", ".join(sorted(WORKLOADS)))
+        ) from None
+    params = inspect.signature(workload_cls.__init__).parameters
+    if any(p.kind is p.VAR_KEYWORD for p in params.values()):
+        return
+    accepted = {name for name in params if name != "self"}
+    unknown = sorted(set(workload_kwargs) - accepted)
+    if unknown:
+        raise ValueError(
+            "workload %r does not accept kwarg(s) %s (accepted: %s)"
+            % (workload, ", ".join(unknown), ", ".join(sorted(accepted)))
+        )
+
+
+@register_config
 class ExperimentConfig:
-    """A declarative experiment: engine + workload + load + knobs."""
+    """A declarative experiment: engine + workload + load + knobs.
+
+    Registered with :mod:`repro.exec.schema`: the field schema is the
+    ``__init__`` parameter list, and ``to_dict``/``from_dict``/
+    ``replaced``/``config_digest`` are schema-derived (see
+    docs/execution.md).
+    """
 
     def __init__(
         self,
@@ -78,6 +119,7 @@ class ExperimentConfig:
             raise ValueError("num_shards must be >= 1, got %r" % (num_shards,))
         if replicas < 0:
             raise ValueError("replicas must be >= 0, got %r" % (replicas,))
+        _validate_workload(workload, workload_kwargs or {})
         self.engine = engine
         self.workload = workload
         self.workload_kwargs = dict(workload_kwargs or {})
@@ -122,31 +164,6 @@ class ExperimentConfig:
             or self.replicas > 0
         )
 
-    def replaced(self, **overrides):
-        """A copy of this config with fields replaced."""
-        fields = {
-            "engine": self.engine,
-            "workload": self.workload,
-            "workload_kwargs": dict(self.workload_kwargs),
-            "engine_config": self.engine_config,
-            "seed": self.seed,
-            "n_txns": self.n_txns,
-            "rate_tps": self.rate_tps,
-            "warmup_fraction": self.warmup_fraction,
-            "instrumented": self.instrumented,
-            "probe_cost": self.probe_cost,
-            "telemetry": self.telemetry,
-            "fault_plan": self.fault_plan,
-            "num_shards": self.num_shards,
-            "topology": self.topology,
-            "replicas": self.replicas,
-            "replication": self.replication,
-            "check": self.check,
-        }
-        fields.update(overrides)
-        return ExperimentConfig(**fields)
-
-
 class RunResult:
     """Everything one run produced."""
 
@@ -181,17 +198,7 @@ class RunResult:
         keyed by the bare instrument name, so per-node reports read
         exactly like a single-node ``metrics_snapshot()``.
         """
-        want = {"node": str(node_id)}
-        snap = self.metrics_snapshot()
-        out = {}
-        for section in ("counters", "gauges", "histograms"):
-            picked = {}
-            for name, value in snap.get(section, {}).items():
-                base, labels = split_label(name)
-                if labels == want:
-                    picked[base] = value
-            out[section] = picked
-        return out
+        return snapshot_node_slice(self.metrics_snapshot(), node_id)
 
     def metrics_rollup(self):
         """Cluster-wide totals: labeled instruments merged by base name.
@@ -201,38 +208,7 @@ class RunResult:
         (quantiles do not compose across sketches, so merged histograms
         omit them).  Unlabeled instruments pass through untouched.
         """
-        snap = self.metrics_snapshot()
-        counters = {}
-        for name, value in snap.get("counters", {}).items():
-            base, _labels = split_label(name)
-            counters[base] = counters.get(base, 0) + value
-        gauges = {}
-        for name, value in snap.get("gauges", {}).items():
-            base, _labels = split_label(name)
-            merged = gauges.setdefault(base, {"value": 0, "max": 0})
-            merged["value"] += value["value"]
-            merged["max"] += value["max"]
-        histograms = {}
-        for name, value in snap.get("histograms", {}).items():
-            base, _labels = split_label(name)
-            merged = histograms.get(base)
-            if merged is None:
-                histograms[base] = dict(value)
-                continue
-            count = merged.get("count", 0) + value.get("count", 0)
-            if not count:
-                continue
-            total = merged.get("sum", 0.0) + value.get("sum", 0.0)
-            mins = [v for v in (merged.get("min"), value.get("min")) if v is not None]
-            maxs = [v for v in (merged.get("max"), value.get("max")) if v is not None]
-            histograms[base] = {
-                "count": count,
-                "sum": total,
-                "mean": total / count,
-                "min": min(mins) if mins else None,
-                "max": max(maxs) if maxs else None,
-            }
-        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+        return snapshot_rollup(self.metrics_snapshot())
 
     @property
     def traces(self):
@@ -339,6 +315,12 @@ class RunResult:
         if span <= 0:
             return 0.0
         return len(traces) / (span / 1_000_000.0)
+
+    def artifact(self):
+        """The picklable plain-data extract of this run (repro.exec)."""
+        from repro.exec.artifact import RunArtifact
+
+        return RunArtifact.from_result(self)
 
     def __repr__(self):
         return "<RunResult %s/%s n=%d>" % (

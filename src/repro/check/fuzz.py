@@ -365,3 +365,44 @@ def fuzz_one(seed, shrink_on_failure=True, max_shrink_steps=MAX_SHRINK_STEPS):
         seed, case, violations, shrunk,
         reproducer_source(shrunk, final_violations),
     )
+
+
+def fuzz_many(seeds, jobs=1, shrink_on_failure=True,
+              max_shrink_steps=MAX_SHRINK_STEPS, executor=None,
+              progress=None):
+    """Fuzz a batch of seeds through the execution layer.
+
+    Every case is an independent deterministic run, so the sweep fans
+    out across an :class:`~repro.exec.executor.Executor` (``jobs > 1``
+    runs in a process pool); reports come back in seed order,
+    identical to ``[fuzz_one(s) for s in seeds]`` by the determinism
+    argument.  Shrinking stays serial — each step's candidate depends
+    on the previous verdict — and only failures pay for it.
+
+    Planted-corruption test hooks (``repro.check._test_hooks``) are
+    process-local state, so sweeps that set them must use ``jobs=1``.
+    """
+    seeds = list(seeds)
+    cases = [make_case(seed) for seed in seeds]
+    if executor is None:
+        from repro.exec.executor import Executor
+
+        executor = Executor(jobs=jobs)
+    artifacts = executor.run(
+        [build_config(case) for case in cases], progress=progress
+    )
+    reports = []
+    for seed, case, artifact in zip(seeds, cases, artifacts):
+        violations = artifact.check_report()
+        if not violations:
+            reports.append(FuzzReport(seed, case, []))
+            continue
+        shrunk = case
+        if shrink_on_failure:
+            shrunk = shrink(case, max_steps=max_shrink_steps)
+        final_violations, _result = run_case(shrunk)
+        reports.append(FuzzReport(
+            seed, case, violations, shrunk,
+            reproducer_source(shrunk, final_violations),
+        ))
+    return reports

@@ -35,6 +35,7 @@ global trace after each round.
 
 from repro.core.annotations import TransactionContext
 from repro.engines.base import Branch
+from repro.exec.schema import register_config
 from repro.faults.retry import RetryPolicy
 from repro.sim.disk import Disk, DiskConfig
 from repro.sim.kernel import WaitEvent
@@ -47,6 +48,7 @@ from repro.workloads.base import TxnSpec
 DIST_FRAMES = ("dist_prepare_wait", "dist_commit_wait")
 
 
+@register_config
 class Topology:
     """Cluster shape + message and 2PC cost knobs (pure configuration)."""
 

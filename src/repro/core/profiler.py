@@ -31,12 +31,21 @@ class ProfiledSystem:
     - ``callgraph`` — a :class:`~repro.core.callgraph.CallGraph`;
     - ``run(instrumented, probe_cost)`` — execute the workload with the
       given instrumented function names and return a ``TransactionLog``.
+
+    ``run_many`` executes a batch of independent instrumented subsets
+    and returns one log per subset, in order.  The default is a serial
+    loop over ``run``; adapters backed by the execution layer
+    (:class:`~repro.bench.profiled.EngineProfiledSystem`) override it to
+    fan the batch out across an :class:`~repro.exec.Executor`.
     """
 
     callgraph = None
 
     def run(self, instrumented, probe_cost):
         raise NotImplementedError
+
+    def run_many(self, batches, probe_cost):
+        return [self.run(frozenset(batch), probe_cost) for batch in batches]
 
 
 class FactorReport:
@@ -207,26 +216,38 @@ class NaiveProfiler:
                 probes += 1 + len(children)
         return max(1, math.ceil(probes / self.budget))
 
-    def profile(self, probe_cost=0.05):
-        """Actually run the naive strategy against a (small) system."""
-        if self.system is None:
-            raise RuntimeError("NaiveProfiler.profile needs a system")
-        graph = self.system.callgraph
-        runs = 0
+    def batches(self, callgraph=None):
+        """The budget-bounded instrumented subsets, in decomposition order.
+
+        Every non-leaf function must be measured together with all of
+        its children; groups pack into batches of at most ``budget``
+        probes.  The batches are mutually independent — each is its own
+        deterministic run — which is what lets :meth:`profile` fan them
+        out across the execution layer instead of looping serially.
+        """
+        graph = callgraph if callgraph is not None else self.system.callgraph
+        batches = []
         batch = []
-        tree = None
         for name in graph.functions:
             children = graph.children(name)
             if not children:
                 continue
             group = [name] + children
             if len(batch) + len(group) > self.budget and batch:
-                self.system.run(frozenset(batch), probe_cost)
-                runs += 1
+                batches.append(frozenset(batch))
                 batch = []
             batch.extend(group)
         if batch:
-            log = self.system.run(frozenset(batch), probe_cost)
-            runs += 1
-            tree = VarianceTree(log.traces)
-        return tree, runs
+            batches.append(frozenset(batch))
+        return batches
+
+    def profile(self, probe_cost=0.05):
+        """Actually run the naive strategy against a (small) system."""
+        if self.system is None:
+            raise RuntimeError("NaiveProfiler.profile needs a system")
+        batches = self.batches()
+        if not batches:
+            return None, 0
+        logs = self.system.run_many(batches, probe_cost)
+        tree = VarianceTree(logs[-1].traces)
+        return tree, len(batches)

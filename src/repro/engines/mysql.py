@@ -36,6 +36,7 @@ from first submission to final commit, as the paper's client does.
 
 from repro.core.callgraph import CallGraph
 from repro.engines.base import Engine
+from repro.exec.schema import register_config
 from repro.faults.retry import RetryPolicy
 from repro.lockmgr.locks import LockMode
 from repro.lockmgr.manager import LockManager, RequestStatus
@@ -82,6 +83,7 @@ def mysql_callgraph():
     return CallGraph.from_dict("do_command", edges)
 
 
+@register_config
 class MySQLConfig:
     """Engine configuration (times in microseconds)."""
 

@@ -29,6 +29,7 @@ two-disk parallel-logging scheme (Section 6.2).
 
 from repro.core.callgraph import CallGraph
 from repro.engines.base import Engine
+from repro.exec.schema import register_config
 from repro.faults.retry import RetryPolicy
 from repro.lockmgr.locks import LockMode
 from repro.lockmgr.manager import LockManager, RequestStatus
@@ -53,6 +54,7 @@ def postgres_callgraph():
     return CallGraph.from_dict("exec_simple_query", edges)
 
 
+@register_config
 class PostgresConfig:
     """Engine configuration (times in microseconds)."""
 

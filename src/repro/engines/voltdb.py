@@ -15,6 +15,7 @@ manual recording path rather than stack-based frames.
 
 from repro.core.callgraph import CallGraph
 from repro.engines.base import Engine
+from repro.exec.schema import register_config
 from repro.sim.rand import HeavyTail, LogNormal, Pareto
 
 
@@ -29,6 +30,7 @@ def voltdb_callgraph():
     return CallGraph.from_dict("transaction", edges)
 
 
+@register_config
 class VoltDBConfig:
     """Engine configuration (times in microseconds)."""
 

@@ -51,6 +51,8 @@ windows never overlap the run is indistinguishable from no plan at all.
 
 import math
 
+from repro.exec.schema import register_config
+
 
 def _check_windows(name, windows):
     out = []
@@ -88,6 +90,7 @@ def in_window(windows, now):
     return None
 
 
+@register_config
 class FaultPlan:
     """One run's fault configuration (times in virtual microseconds).
 

@@ -28,6 +28,10 @@ recorder logs every replica read with its staleness so the
 """
 
 
+from repro.exec.schema import register_config
+
+
+@register_config
 class ReplicationConfig:
     """Per-shard replica-group shape + cost knobs (pure configuration)."""
 

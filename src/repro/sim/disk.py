@@ -19,10 +19,12 @@ latency — callers on durability paths (the WAL layers) retry.  Both hooks
 are no-ops behind the ``faults.enabled`` check when no plan is active.
 """
 
+from repro.exec.schema import register_config
 from repro.faults.injector import TransientIOError
 from repro.sim.rand import HeavyTail, LogNormal, Pareto
 
 
+@register_config
 class DiskConfig:
     """Tunable device parameters (times in microseconds, sizes in bytes).
 

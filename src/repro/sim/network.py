@@ -23,9 +23,11 @@ heals and then delivered normally — deterministic stalls, never drops,
 so a partitioned 2PC run still terminates and stays byte-reproducible.
 """
 
+from repro.exec.schema import register_config
 from repro.sim.rand import HeavyTail, LogNormal, Pareto
 
 
+@register_config
 class NetworkConfig:
     """Fabric parameters (times in microseconds, sizes in bytes).
 

@@ -21,6 +21,8 @@ from repro.telemetry.registry import (
     MetricsRegistry,
     NullRegistry,
     NULL_REGISTRY,
+    snapshot_node_slice,
+    snapshot_rollup,
     split_label,
 )
 from repro.telemetry.sketch import GKSketch
@@ -36,5 +38,7 @@ __all__ = [
     "NullRegistry",
     "NULL_REGISTRY",
     "TelemetryEvent",
+    "snapshot_node_slice",
+    "snapshot_rollup",
     "split_label",
 ]

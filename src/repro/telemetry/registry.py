@@ -377,3 +377,66 @@ class NullRegistry:
 #: Shared disabled registry; components default to this when the
 #: simulator carries no telemetry.
 NULL_REGISTRY = NullRegistry()
+
+
+def snapshot_node_slice(snapshot, node_id):
+    """One node's slice of a metrics snapshot, labels stripped.
+
+    Clustered runs label every node-side instrument ``{node=<id>}``;
+    this filters a full ``MetricsRegistry.snapshot()`` down to one node
+    and returns it keyed by the bare instrument name, so per-node
+    reports read exactly like a single-node snapshot.  Pure dict
+    transformation — usable on a snapshot long after the run (e.g. from
+    a pickled :class:`~repro.exec.RunArtifact`).
+    """
+    want = {"node": str(node_id)}
+    out = {}
+    for section in ("counters", "gauges", "histograms"):
+        picked = {}
+        for name, value in snapshot.get(section, {}).items():
+            base, labels = split_label(name)
+            if labels == want:
+                picked[base] = value
+        out[section] = picked
+    return out
+
+
+def snapshot_rollup(snapshot):
+    """Cluster-wide totals: labeled instruments merged by base name.
+
+    Counters and gauge values/maxima sum across nodes; histograms merge
+    exactly for ``count``/``sum``/``mean``/``min``/``max`` (quantiles do
+    not compose across sketches, so merged histograms omit them).
+    Unlabeled instruments pass through untouched.
+    """
+    counters = {}
+    for name, value in snapshot.get("counters", {}).items():
+        base, _labels = split_label(name)
+        counters[base] = counters.get(base, 0) + value
+    gauges = {}
+    for name, value in snapshot.get("gauges", {}).items():
+        base, _labels = split_label(name)
+        merged = gauges.setdefault(base, {"value": 0, "max": 0})
+        merged["value"] += value["value"]
+        merged["max"] += value["max"]
+    histograms = {}
+    for name, value in snapshot.get("histograms", {}).items():
+        base, _labels = split_label(name)
+        merged = histograms.get(base)
+        if merged is None:
+            histograms[base] = dict(value)
+            continue
+        count = merged.get("count", 0) + value.get("count", 0)
+        if not count:
+            continue
+        total = merged.get("sum", 0.0) + value.get("sum", 0.0)
+        mins = [v for v in (merged.get("min"), value.get("min")) if v is not None]
+        maxs = [v for v in (merged.get("max"), value.get("max")) if v is not None]
+        histograms[base] = {
+            "count": count,
+            "sum": total,
+            "mean": total / count,
+            "min": min(mins) if mins else None,
+            "max": max(maxs) if maxs else None,
+        }
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}

@@ -8,7 +8,7 @@ within tolerance of the best observed, choose the one with the lowest
 variance.
 """
 
-from repro.bench.runner import run_experiment
+from repro.exec.executor import Executor
 
 
 class SweepPoint:
@@ -35,22 +35,32 @@ class ParameterSweep:
 
     ``make_config(value)`` builds the
     :class:`~repro.bench.runner.ExperimentConfig` for a candidate value.
+
+    Candidates are independent deterministic runs, so the sweep routes
+    through the execution layer: ``jobs > 1`` (or an explicit
+    ``executor``) fans them out across a process pool, with results in
+    candidate order either way.
     """
 
-    def __init__(self, make_config, mean_tolerance=0.10, throughput_tolerance=0.05):
+    def __init__(self, make_config, mean_tolerance=0.10,
+                 throughput_tolerance=0.05, jobs=1, executor=None):
         self.make_config = make_config
         self.mean_tolerance = mean_tolerance
         self.throughput_tolerance = throughput_tolerance
+        self.executor = executor if executor is not None else Executor(jobs=jobs)
         self.points = []
 
     def run(self, candidates):
         """Run every candidate; returns the list of :class:`SweepPoint`."""
-        self.points = []
-        for value in candidates:
-            result = run_experiment(self.make_config(value))
-            self.points.append(
-                SweepPoint(str(value), value, result.summary, result.throughput_tps)
-            )
+        candidates = list(candidates)
+        artifacts = self.executor.run(
+            [self.make_config(value) for value in candidates]
+        )
+        self.points = [
+            SweepPoint(str(value), value, artifact.summary,
+                       artifact.throughput_tps)
+            for value, artifact in zip(candidates, artifacts)
+        ]
         return self.points
 
     def best(self):

@@ -24,10 +24,12 @@ instead of losing durability (``wal.<name>.io_retries`` counts them).
 
 import enum
 
+from repro.exec.schema import register_enum
 from repro.sim.kernel import WaitEvent
 from repro.wal.retry_io import RetryingDisk
 
 
+@register_enum
 class FlushPolicy(enum.Enum):
     EAGER_FLUSH = "eager_flush"
     LAZY_FLUSH = "lazy_flush"

@@ -31,6 +31,7 @@ from repro.check.fuzz import (
     FuzzCase,
     _shrink_candidates,
     build_config,
+    fuzz_many,
     fuzz_one,
     make_case,
     run_case,
@@ -240,6 +241,19 @@ def test_fuzz_runs_do_not_leak_state():
     assert before == after
 
 
+def test_fuzz_many_matches_fuzz_one():
+    """The batched sweep is the serial loop: same cases, same verdicts."""
+    seeds = [0, 1, 2]
+    reports = fuzz_many(seeds, shrink_on_failure=False)
+    assert [r.seed for r in reports] == seeds
+    for report in reports:
+        lone = fuzz_one(report.seed, shrink_on_failure=False)
+        assert report.case == lone.case
+        assert [repr(v) for v in report.violations] == [
+            repr(v) for v in lone.violations
+        ]
+
+
 # ----------------------------------------------------------------------
 # CI smoke budget: 25 seeds, all engines, chaos on, zero violations
 # ----------------------------------------------------------------------
@@ -247,12 +261,14 @@ def test_fuzz_runs_do_not_leak_state():
 
 @pytest.mark.fuzz_smoke
 def test_fuzz_smoke_25_seeds():
+    # The seed sweep routes through the execution layer (fuzz_many);
+    # per-report equivalence to fuzz_one is pinned in
+    # test_fuzz_many_matches_fuzz_one below.
     engines = set()
     shard_counts = set()
-    for seed in range(25):
-        report = fuzz_one(seed, shrink_on_failure=False)
+    for report in fuzz_many(range(25), shrink_on_failure=False):
         assert not report.failed, (
-            "seed %d: %r" % (seed, report.violations[:5])
+            "seed %d: %r" % (report.seed, report.violations[:5])
         )
         engines.add(report.case.engine)
         shard_counts.add(report.case.num_shards)

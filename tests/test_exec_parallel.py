@@ -1,0 +1,116 @@
+"""Parallel execution is byte-identical to serial execution.
+
+The whole case for the process-pool backend rests on one claim: a run
+is a pure function of (config, seed) in *any* interpreter, so fanning a
+sweep across worker processes cannot change a single byte of any
+artifact.  These tests pin that claim on a deliberately mixed sweep —
+plain single-node runs, a faulted run, a sharded 2PC run and a
+replicated semi-sync run, plus an exact duplicate config to exercise
+the executor's digest dedup — and compare the *full* canonical run
+payloads (every trace, event, counter and check report), not just a
+summary statistic.
+
+The cross-process variant additionally varies ``PYTHONHASHSEED``
+between two fresh interpreters (see ``tests/util.py``): worker
+processes inherit the parent's hash seed, so a str-hash-order bug in
+any layer would desynchronise the pool from the serial baseline in at
+least one of them.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.digest import run_digest, run_payload
+from repro.bench.runner import ExperimentConfig
+from repro.cluster import Topology
+from repro.exec import Executor
+from repro.faults.plan import FaultPlan
+from repro.replication import ReplicationConfig
+from tests.util import assert_hash_seed_invariant
+
+#: The mixed sweep: single-node, faulted, sharded, replicated — and a
+#: byte-identical duplicate of the first config (index 4) so the pool
+#: path also exercises dedup fan-in.
+def mixed_sweep():
+    plain = ExperimentConfig(
+        workload="ycsb",
+        workload_kwargs={"scale_factor": 1, "rows_per_sf": 32},
+        n_txns=40,
+        seed=3,
+    )
+    return [
+        plain,
+        ExperimentConfig(
+            engine="postgres",
+            workload="ycsb",
+            workload_kwargs={"scale_factor": 1, "rows_per_sf": 32},
+            n_txns=40,
+            seed=4,
+            fault_plan=FaultPlan(name="io", io_error_prob=0.02),
+        ),
+        ExperimentConfig(
+            workload="tpcc",
+            workload_kwargs={"warehouses": 8, "remote_payment_prob": 0.3},
+            n_txns=40,
+            seed=5,
+            num_shards=2,
+            topology=Topology(router="hash"),
+            check=True,
+        ),
+        ExperimentConfig(
+            workload="tpcc",
+            workload_kwargs={"warehouses": 4},
+            n_txns=40,
+            seed=6,
+            replicas=1,
+            replication=ReplicationConfig(mode="semi_sync", ack_k=1),
+            check=True,
+        ),
+        plain,
+    ]
+
+
+@pytest.mark.exec_smoke
+def test_pool_artifacts_identical_to_serial():
+    configs = mixed_sweep()
+    serial = Executor(jobs=1).run(configs)
+    pooled = Executor(jobs=4).run(configs)
+    assert len(serial) == len(pooled) == len(configs)
+    for config, a, b in zip(configs, serial, pooled):
+        assert a.config_digest == b.config_digest == config.config_digest()
+        # Full canonical payload, not just the digest: a mismatch then
+        # points at the differing key instead of an opaque hash.
+        pa, pb = run_payload(a), run_payload(b)
+        assert json.dumps(pa, sort_keys=True) == json.dumps(pb, sort_keys=True)
+        assert a.outcome_counts == b.outcome_counts
+        assert [repr(v) for v in a.check_report() or []] == \
+               [repr(v) for v in b.check_report() or []]
+    # The duplicate config (index 4) matches its original (index 0).
+    assert run_digest(pooled[4]) == run_digest(pooled[0])
+
+
+#: Subprocess program for the cross-process check: run the mixed sweep
+#: serial and pooled, print both digest lists.  Byte-identical stdout
+#: across hash seeds == byte-identical artifacts across interpreters.
+CROSS_PROCESS_CODE = """\
+import sys, json; sys.path[:0] = json.loads(sys.argv[1])
+from repro.bench.digest import run_digest
+from repro.exec import Executor
+from tests.test_exec_parallel import mixed_sweep
+
+configs = mixed_sweep()
+serial = [run_digest(a) for a in Executor(jobs=1).run(configs)]
+pooled = [run_digest(a) for a in Executor(jobs=4).run(configs)]
+assert serial == pooled, (serial, pooled)
+print(json.dumps(serial))
+"""
+
+
+@pytest.mark.exec_smoke
+def test_pool_identical_to_serial_across_hash_seeds():
+    out = assert_hash_seed_invariant(CROSS_PROCESS_CODE)
+    digests = json.loads(out)
+    assert len(digests) == 5
+    assert digests[4] == digests[0]  # duplicate config, same artifact
+    assert len(set(digests[:4])) == 4  # distinct configs, distinct runs

@@ -27,6 +27,7 @@ import pytest
 
 from repro.bench.digest import run_digest
 from repro.bench.runner import ExperimentConfig, run_experiment
+from repro.exec import run_many
 from repro.faults.plan import FaultPlan
 
 from tests.util import assert_hash_seed_invariant
@@ -78,24 +79,31 @@ def _event_boundaries(result, every_kth):
 
 
 def _sweep(base_config, crash_points, target):
-    """Run one crash per point; return the aggregated outcome counts."""
+    """Run one crash per point; return the aggregated outcome counts.
+
+    The points are independent deterministic runs, so the sweep fans
+    out through the execution layer (``repro.exec.run_many``); the
+    returned artifacts carry everything the assertions need.
+    """
     n = base_config.n_txns
-    aggregate = {}
-    for crash_at in crash_points:
-        plan = FaultPlan(
+    configs = [
+        base_config.replaced(fault_plan=FaultPlan(
             name="sweep-crash", node_crash_times=((target, crash_at),)
-        )
-        result = run_experiment(base_config.replaced(fault_plan=plan))
-        violations = result.check_report()
+        ))
+        for crash_at in crash_points
+    ]
+    aggregate = {}
+    for crash_at, artifact in zip(crash_points, run_many(configs)):
+        violations = artifact.check_report()
         assert violations == [], (
             "crash target=%r t=%r: %r" % (target, crash_at, violations)
         )
-        counts = result.outcome_counts
+        counts = artifact.outcome_counts
         assert sum(counts.values()) == n, (
             "crash target=%r t=%r lost/duplicated clients: %r"
             % (target, crash_at, counts)
         )
-        assert result.fault_counts["node_crashes"] == 1
+        assert artifact.fault_counts["node_crashes"] == 1
         for outcome, count in counts.items():
             aggregate[outcome] = aggregate.get(outcome, 0) + count
     return aggregate

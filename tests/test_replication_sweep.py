@@ -27,6 +27,7 @@ import pytest
 
 from repro.bench.digest import run_digest
 from repro.bench.runner import ExperimentConfig, run_experiment
+from repro.exec import run_many
 from repro.faults.plan import FaultPlan
 from repro.replication import ReplicationConfig
 
@@ -63,14 +64,18 @@ def _promotions(result):
 
 
 def _failover_sweep(base_config, crash_points):
+    # Independent deterministic runs: fan out through repro.exec (the
+    # artifacts carry the history, so _promotions works unchanged).
     n = base_config.n_txns
+    configs = [
+        base_config.replaced(fault_plan=FaultPlan(
+            name="failover-sweep", node_crash_times=((0, crash_at),)
+        ))
+        for crash_at in crash_points
+    ]
     aggregate = {}
     promoted_runs = 0
-    for crash_at in crash_points:
-        plan = FaultPlan(
-            name="failover-sweep", node_crash_times=((0, crash_at),)
-        )
-        result = run_experiment(base_config.replaced(fault_plan=plan))
+    for crash_at, result in zip(crash_points, run_many(configs)):
         violations = result.check_report()
         assert violations == [], (
             "failover at t=%r: %r" % (crash_at, violations)
