@@ -19,6 +19,7 @@ process (``measure(..., simulator_cls=ReferenceSimulator)``) so they
 see the same machine conditions.
 """
 
+import os
 import time
 
 from repro.bench import paperconfig as pc
@@ -47,6 +48,60 @@ def macro_config(name, seed=MACRO_SEED, n_txns=MACRO_N_TXNS, telemetry=True):
     return MACROS[name](seed, n_txns).replaced(telemetry=telemetry)
 
 
+def macro_engines():
+    """Mapping of macro name -> engine name (for ``--engines`` filters)."""
+    return {name: MACROS[name](MACRO_SEED, 1).engine for name in MACROS}
+
+
+def profile_macro(config, top=20, sort="cumulative"):
+    """cProfile one ``run_experiment(config)``; return the stats text.
+
+    Perf PRs should start from this, not guesses: the top-20 cumulative
+    hotspots say which layer (kernel, engine, telemetry, workload
+    generation) actually owns the wall time for a given macro.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_experiment(config)
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    return stream.getvalue()
+
+
+def _timed_run(config, simulator_cls=None):
+    """One timed ``run_experiment``; returns (wall_seconds, result)."""
+    start = time.perf_counter()
+    result = run_experiment(config, simulator_cls=simulator_cls)
+    return time.perf_counter() - start, result
+
+
+def _measurement(config, walls, result, repeats):
+    wall = min(walls)
+    dispatches = result.sim.dispatch_count
+    committed = len(result.traces)
+    return {
+        "engine": config.engine,
+        "workload": config.workload,
+        "seed": config.seed,
+        "n_txns": config.n_txns,
+        "telemetry": config.telemetry,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "wall_seconds": round(wall, 4),
+        "wall_seconds_all": [round(w, 4) for w in sorted(walls)],
+        "dispatches": dispatches,
+        "committed_txns": committed,
+        "events_per_sec": round(dispatches / wall, 1),
+        "txns_per_sec": round(committed / wall, 1),
+    }
+
+
 def measure(config, repeats=3, simulator_cls=None):
     """Time ``run_experiment(config)``: best wall seconds over repeats.
 
@@ -59,43 +114,55 @@ def measure(config, repeats=3, simulator_cls=None):
     walls = []
     result = None
     for _ in range(repeats):
-        start = time.perf_counter()
-        result = run_experiment(config, simulator_cls=simulator_cls)
-        walls.append(time.perf_counter() - start)
-    wall = min(walls)
-    dispatches = result.sim.dispatch_count
-    committed = len(result.traces)
-    return {
-        "engine": config.engine,
-        "workload": config.workload,
-        "seed": config.seed,
-        "n_txns": config.n_txns,
-        "telemetry": config.telemetry,
-        "repeats": repeats,
-        "wall_seconds": round(wall, 4),
-        "wall_seconds_all": [round(w, 4) for w in sorted(walls)],
-        "dispatches": dispatches,
-        "committed_txns": committed,
-        "events_per_sec": round(dispatches / wall, 1),
-        "txns_per_sec": round(committed / wall, 1),
-    }
+        wall, result = _timed_run(config, simulator_cls=simulator_cls)
+        walls.append(wall)
+    return _measurement(config, walls, result, repeats)
 
 
 def measure_macros(names=None, seed=MACRO_SEED, n_txns=MACRO_N_TXNS,
                    repeats=3, progress=None, simulator_cls=None):
-    """Measure every tracked macro-workload, telemetry on and off."""
+    """Measure every tracked macro-workload, telemetry on and off.
+
+    Each macro's telemetry-on/off pair is interleaved *within* every
+    repeat round (on, off, on, off, ...) so both sides of the overhead
+    ratio see the same machine conditions — a load drift between two
+    back-to-back repeat blocks would otherwise bias the tax by more
+    than the tax itself.  Every entry records its position in the
+    measurement sequence (``interleave_order``) and the machine's
+    ``cpu_count`` so a reader of ``BENCH_PERF.json`` can reconstruct
+    the run conditions without the shell history.
+    """
     report = {}
+    order = 0
     for name in names or sorted(MACROS):
+        configs = {
+            telemetry: macro_config(name, seed=seed, n_txns=n_txns,
+                                    telemetry=telemetry)
+            for telemetry in (True, False)
+        }
+        keys = {
+            telemetry: "%s/telemetry-%s" % (name, "on" if telemetry else "off")
+            for telemetry in (True, False)
+        }
+        if progress:
+            progress("measuring %s + %s (interleaved) ..."
+                     % (keys[True], keys[False]))
+        walls = {True: [], False: []}
+        results = {True: None, False: None}
+        for _ in range(repeats):
+            for telemetry in (True, False):
+                wall, results[telemetry] = _timed_run(
+                    configs[telemetry], simulator_cls=simulator_cls
+                )
+                walls[telemetry].append(wall)
         for telemetry in (True, False):
-            key = "%s/telemetry-%s" % (name, "on" if telemetry else "off")
-            if progress:
-                progress("measuring %s ..." % key)
-            report[key] = measure(
-                macro_config(name, seed=seed, n_txns=n_txns,
-                             telemetry=telemetry),
-                repeats=repeats,
-                simulator_cls=simulator_cls,
+            key = keys[telemetry]
+            report[key] = _measurement(
+                configs[telemetry], walls[telemetry], results[telemetry],
+                repeats,
             )
+            report[key]["interleave_order"] = order
+            order += 1
             if progress:
                 progress("  %s: %.0f events/sec, %.0f txns/sec (wall %.3fs)"
                          % (key, report[key]["events_per_sec"],
@@ -169,6 +236,7 @@ def measure_exec_sweep(jobs_list=(1, 4), n_configs=EXEC_SWEEP_N_CONFIGS,
         "n_txns": n_txns,
         "repeats": repeats,
         "cpu_count": os.cpu_count(),
+        "interleave_order": [str(jobs) for jobs in jobs_list],
         "digests_identical": True,
         "wall_seconds": {
             str(jobs): round(min(walls[jobs]), 4) for jobs in jobs_list

@@ -21,6 +21,7 @@ that, so single-node runs stay byte-identical to the pre-cluster tree.
 
 import gc
 import inspect
+from array import array
 
 from repro.check.recorder import HistoryRecorder
 from repro.cluster import Cluster, Node, Topology, make_router
@@ -221,10 +222,14 @@ class RunResult:
 
     @property
     def latencies(self):
-        return [t.latency for t in self.traces]
+        # Packed doubles, not a list of boxed floats: a large run's
+        # latency vector is 3-4x smaller and feeds numpy zero-copy.
+        return array("d", (t.latency for t in self.traces))
 
     def latencies_of(self, txn_type):
-        return [t.latency for t in self.traces if t.txn_type == txn_type]
+        return array(
+            "d", (t.latency for t in self.traces if t.txn_type == txn_type)
+        )
 
     @property
     def summary(self):

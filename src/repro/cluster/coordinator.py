@@ -160,6 +160,28 @@ class Cluster:
         self._t_cross_shard = tm.counter("cluster.cross_shard_txns")
         self._t_prepare_wait = tm.histogram("cluster.prepare_wait")
         self._t_commit_wait = tm.histogram("cluster.commit_wait")
+        # The three routing counters shadow the plain accounting
+        # attributes one-for-one and fire once per transaction; they are
+        # folded in bulk at registry flush instead of per submit().
+        self._flushed_single = 0
+        self._flushed_cross = 0
+        self._flushed_replica = 0
+        tm.add_flush_hook(self._flush_counters)
+
+    def _flush_counters(self):
+        """Fold the deferred routing totals into their counters."""
+        delta = self.single_home_txns - self._flushed_single
+        if delta:
+            self._t_single_home.inc(delta)
+            self._flushed_single = self.single_home_txns
+        delta = self.cross_shard_txns - self._flushed_cross
+        if delta:
+            self._t_cross_shard.inc(delta)
+            self._flushed_cross = self.cross_shard_txns
+        delta = self.replica_read_txns - self._flushed_replica
+        if delta:
+            self._t_replica_reads.inc(delta)
+            self._flushed_replica = self.replica_read_txns
 
     # ------------------------------------------------------------------
     # Driver protocol
@@ -186,12 +208,10 @@ class Cluster:
         if len(groups) == 1:
             shard = next(iter(groups))
             self.single_home_txns += 1
-            self._t_single_home.inc()
             self._live[ctx] = {"kind": "single"}
             replica = self._route_read(shard, spec)
             if replica is not None:
                 self.replica_read_txns += 1
-                self._t_replica_reads.inc()
                 self._spawn(
                     self._replica_read(ctx, spec, shard, replica),
                     "coord.txn%s" % (ctx.txn_id,),
@@ -203,7 +223,6 @@ class Cluster:
             )
         else:
             self.cross_shard_txns += 1
-            self._t_cross_shard.inc()
             self._live[ctx] = {
                 "kind": "2pc",
                 "branches": (),
@@ -262,10 +281,21 @@ class Cluster:
         # so a coordinator crash can only catch this process *before* the
         # hand-off (mid network send) — recovery then fails the txn with
         # ``coord_crash``.
+        network = self.network
         try:
-            yield from self.network.send(
-                self.COORD, node.node_id, self.topology.request_bytes
-            )
+            if network._faults.enabled:
+                yield from network.send(
+                    self.COORD, node.node_id, self.topology.request_bytes
+                )
+            else:
+                # Fault-free fast hop: the whole request message costs
+                # one precomputed delay (Network.send_delay mutates the
+                # same link state and draws the same latency sample), so
+                # the hop runs in this frame with a single bare-float
+                # yield instead of delegating into a send() generator.
+                yield network.send_delay(
+                    self.COORD, node.node_id, self.topology.request_bytes
+                )
             node.engine.submit(ctx, spec)
         finally:
             self._live.pop(ctx, None)

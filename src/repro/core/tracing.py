@@ -39,6 +39,13 @@ class Tracer:
         self.probe_cost = float(probe_cost)
         self.log = log
         self.probe_firings = 0
+        # Exited frames are recycled through this freelist instead of
+        # allocated per traced call — instrumented runs make one frame
+        # per probe invocation, which is pure garbage the moment the
+        # frame exits.  Frames abandoned mid-flight (crash paths clear
+        # ``ctx.stack`` wholesale) simply escape the pool; correctness
+        # never depends on recycling.
+        self._frame_pool = []
 
     # ------------------------------------------------------------------
     # Transaction demarcation passthrough
@@ -82,7 +89,14 @@ class Tracer:
         if self.probe_cost:
             self.probe_firings += 1
             yield self.probe_cost
-        frame = _Frame(key, self.sim.now, parent)
+        pool = self._frame_pool
+        if pool:
+            frame = pool.pop()
+            frame.key = key
+            frame.start = self.sim.now
+            frame.parent = parent
+        else:
+            frame = _Frame(key, self.sim.now, parent)
         ctx.stack.append(frame)
         try:
             result = yield from subgen
@@ -102,10 +116,17 @@ class Tracer:
             )
         ctx.stack.pop()
         duration = self.sim.now - frame.start
-        ctx.durations[frame.key] = ctx.durations.get(frame.key, 0.0) + duration
-        if frame.parent is not None:
-            per_child = ctx.under.setdefault(frame.parent.key, {})
-            per_child[frame.key] = per_child.get(frame.key, 0.0) + duration
+        key = frame.key
+        ctx.durations[key] = ctx.durations.get(key, 0.0) + duration
+        parent = frame.parent
+        if parent is not None:
+            per_child = ctx.under.setdefault(parent.key, {})
+            per_child[key] = per_child.get(key, 0.0) + duration
+        # Recycle: children always exit before their parent (enforced
+        # above), so nothing can still read this frame's fields.  Drop
+        # the parent link to keep the pool from pinning frame chains.
+        frame.parent = None
+        self._frame_pool.append(frame)
 
     def record(self, ctx, name, duration, site="<root>", parent=None):
         """Record a measured duration for ``name`` without a live frame.

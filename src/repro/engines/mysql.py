@@ -311,7 +311,6 @@ class MySQLEngine(Engine):
         pool = self.pool
         pages_get = pool._pages.get
         hit_cost = pool._hit_cost
-        t_hits = pool._t_hits
         lru = pool._lru
         backlog = worker.llu_backlog
         lockmgr = self.lockmgr
@@ -401,13 +400,11 @@ class MySQLEngine(Engine):
                     page = pages_get(page_id)
                     if page is None:
                         pool.misses += 1
-                        pool._t_misses.inc()
                         page = yield from pool._read_in(ctx, page_id)
                         if dirty_here:
                             page.dirty = True
                         break
                     pool.hits += 1
-                    t_hits.inc()
                     yield hit_cost
                     if pages_get(page_id) is not page:
                         # Evicted while paused: take the miss path.

@@ -79,22 +79,63 @@ class VoltDBEngine(Engine):
         self.workload = workload
         self.rng = streams.stream("voltdb.engine")
         self.queue_waits = []
+        # Service-time distributions are immutable and fully determined
+        # by (config, n_ops), so one instance per op count serves every
+        # transaction with bit-identical draws — no per-txn allocation.
+        self._service_dists = {}
         # Appendix A: queue wait is ~99.9% of VoltDB's latency variance,
         # so it gets its own histogram next to the per-type latencies.
         self._t_queue_wait = self.telemetry.histogram("voltdb.queue_wait")
 
+    def _service_dist(self, n_ops):
+        dist = self._service_dists.get(n_ops)
+        if dist is None:
+            cfg = self.config
+            dist = LogNormal(cfg.base_cpu + cfg.per_op_cpu * n_ops, cfg.service_cv)
+            if cfg.stall_prob:
+                dist = HeavyTail(
+                    dist,
+                    Pareto(cfg.stall_scale, cfg.stall_alpha),
+                    cfg.stall_prob,
+                )
+            self._service_dists[n_ops] = dist
+        return dist
+
     def _service_time(self, spec):
-        mean = self.config.base_cpu + self.config.per_op_cpu * len(spec.ops)
-        dist = LogNormal(mean, self.config.service_cv)
-        if self.config.stall_prob:
-            dist = HeavyTail(
-                dist,
-                Pareto(self.config.stall_scale, self.config.stall_alpha),
-                self.config.stall_prob,
-            )
-        return dist.sample(self.rng)
+        return self._service_dist(len(spec.ops)).sample(self.rng)
 
     def _execute(self, worker, ctx, spec):
+        """One stored-procedure invocation; retries never happen here.
+
+        With no probes instrumented every ``tracer.record`` call in the
+        traced body is a no-op, so the partition-serial execution can
+        run in ``_voltdb_execute_fast`` — same yields, same RNG draws,
+        same bookkeeping, minus the dead record calls and key tuples.
+        """
+        if not self.tracer.instrumented:
+            return self._voltdb_execute_fast(worker, ctx, spec)
+        return self._voltdb_execute_traced(worker, ctx, spec)
+
+    def _voltdb_execute_fast(self, worker, ctx, spec):
+        """The uninstrumented invocation in a single generator frame."""
+        queue_wait = self.sim.now - ctx.birth
+        self.queue_waits.append(queue_wait)
+        self._t_queue_wait.observe(queue_wait)
+        ctx.begin_interval()
+        service = self._service_dist(len(spec.ops)).sample(self.rng)
+        init_time = service * self.config.init_fraction
+        yield init_time
+        yield service - init_time
+        ctx.end_interval()
+        check = self.check
+        if check.enabled:
+            check.begin_attempt(ctx)
+            for op in spec.ops:
+                check.record_op(ctx, op, False)
+        self.tracer.end_transaction(ctx, committed=True)
+        self.observe_txn(ctx, committed=True)
+
+    def _voltdb_execute_traced(self, worker, ctx, spec):
         tracer = self.tracer
         queue_wait = self.sim.now - ctx.birth
         self.queue_waits.append(queue_wait)

@@ -19,6 +19,8 @@ the fuzzer work identically on either.  ``digest()`` equals
 how the parallel-equals-serial tests pin byte-identity.
 """
 
+from array import array
+
 from repro.sim.stats import summarize
 from repro.telemetry import snapshot_node_slice, snapshot_rollup
 
@@ -119,10 +121,14 @@ class RunArtifact:
 
     @property
     def latencies(self):
-        return [t.latency for t in self.traces]
+        # Packed doubles, not a list of boxed floats: a large sweep's
+        # latency vectors are 3-4x smaller and feed numpy zero-copy.
+        return array("d", (t.latency for t in self.traces))
 
     def latencies_of(self, txn_type):
-        return [t.latency for t in self.traces if t.txn_type == txn_type]
+        return array(
+            "d", (t.latency for t in self.traces if t.txn_type == txn_type)
+        )
 
     @property
     def summary(self):

@@ -36,8 +36,6 @@ current); transactions queued across the outage record the stall as
 replication oracles (:func:`repro.check.oracles.check_replication`).
 """
 
-from collections import deque
-
 from repro.sim.disk import Disk, DiskConfig
 from repro.sim.kernel import WaitEvent
 
@@ -52,12 +50,19 @@ REPLICA_NET_BASE = 1_000_000
 
 
 class Replica:
-    """One log consumer: relay disk + shipping/apply cursors."""
+    """One log consumer: relay disk + shipping/apply cursors.
+
+    Received-but-unapplied records are not queued separately: the apply
+    loop indexes the group's shared replication log directly, so the
+    window between ``apply_cursor`` and ``recv_cursor`` *is* the apply
+    backlog — no per-record tuple is ever copied out of the log.
+    """
 
     __slots__ = (
         "shard", "idx", "net_id", "disk", "cursor", "received_lsn",
-        "acked_lsn", "applied_lsn", "applied_origin", "apply_queue",
-        "retired", "ship_wakeup", "apply_wakeup", "lag_gauge",
+        "acked_lsn", "applied_lsn", "applied_origin", "recv_cursor",
+        "apply_cursor", "retired", "ship_wakeup", "apply_wakeup",
+        "lag_gauge",
     )
 
     def __init__(self, shard, idx, net_id, disk, lag_gauge):
@@ -72,7 +77,10 @@ class Replica:
         #: Primary-side commit time of the last applied record — the
         #: age of this replica's view is ``now - applied_origin``.
         self.applied_origin = 0.0
-        self.apply_queue = deque()
+        #: Log indices: records below ``recv_cursor`` have arrived over
+        #: the network; records below ``apply_cursor`` are replayed.
+        self.recv_cursor = 0
+        self.apply_cursor = 0
         self.retired = False
         self.ship_wakeup = None
         self.apply_wakeup = None
@@ -109,12 +117,22 @@ class ReplicaGroup:
         self.epoch = 0
         self.promotions = 0
         self.replica_reads = 0
-        self._ack_event = sim.event()
+        #: Lazily allocated: only exists while a commit barrier is
+        #: parked, so the common no-waiter ack costs no event object.
+        self._ack_event = None
         disk_config = config.apply_disk or DiskConfig.battery_backed()
         self._t_shipped = self.telemetry.counter(
             "repl.s%d.shipped_bytes" % (shard,)
         )
         self._t_acks = self.telemetry.counter("repl.s%d.acks" % (shard,))
+        # Both counters shadow plain accounting attributes one-for-one
+        # and fire on every commit/ack; fold them in bulk at registry
+        # flush instead of paying a Counter.inc per replicated record.
+        self.shipped_bytes = 0
+        self.acks = 0
+        self._flushed_shipped = 0
+        self._flushed_acks = 0
+        self.telemetry.add_flush_hook(self._flush_counters)
         self.replicas = []
         for idx in range(n_replicas):
             label = "repl.s%dr%d" % (shard, idx)
@@ -140,12 +158,27 @@ class ReplicaGroup:
             setattr(replica, attr, None)
             event.fire(None)
 
+    def _flush_counters(self):
+        """Fold the deferred shipped/ack totals into their counters."""
+        delta = self.shipped_bytes - self._flushed_shipped
+        if delta:
+            self._t_shipped.inc(delta)
+            self._flushed_shipped = self.shipped_bytes
+        delta = self.acks - self._flushed_acks
+        if delta:
+            self._t_acks.inc(delta)
+            self._flushed_acks = self.acks
+
     def _fire_acks(self):
-        # Broadcast: swap in a fresh event, fire the old one so every
-        # parked commit barrier re-checks its ack predicate.
+        # Broadcast: detach the event, fire it so every parked commit
+        # barrier re-checks its ack predicate.  ``None`` means nobody is
+        # parked — the common case — and costs nothing; scheduling is
+        # cooperative, so a barrier cannot park between this check and
+        # the fire.
         event = self._ack_event
-        self._ack_event = self.sim.event()
-        event.fire(None)
+        if event is not None:
+            self._ack_event = None
+            event.fire(None)
 
     # ------------------------------------------------------------------
     # Shipping and apply loops (one pair per replica)
@@ -164,19 +197,37 @@ class ReplicaGroup:
                 continue
             lsn_end, nbytes, origin = self.log[replica.cursor]
             replica.cursor += 1
-            yield from net.send(
-                self.net_id, replica.net_id, nbytes + cfg.ship_record_bytes
-            )
+            if net._faults.enabled:
+                yield from net.send(
+                    self.net_id, replica.net_id,
+                    nbytes + cfg.ship_record_bytes,
+                )
+            else:
+                yield net.send_delay(
+                    self.net_id, replica.net_id,
+                    nbytes + cfg.ship_record_bytes,
+                )
             if replica.retired:
                 continue
             replica.received_lsn = lsn_end
-            replica.apply_queue.append((lsn_end, nbytes, origin))
+            # Hand the record to the apply loop by cursor: it replays
+            # straight out of ``self.log``, so no per-record tuple is
+            # copied.  This loop is serial, so ``cursor`` is exactly the
+            # count of records shipped to this replica.
+            replica.recv_cursor = replica.cursor
             self._wake(replica, "apply_wakeup")
-            yield from net.send(replica.net_id, self.net_id, cfg.ack_bytes)
+            if net._faults.enabled:
+                yield from net.send(
+                    replica.net_id, self.net_id, cfg.ack_bytes
+                )
+            else:
+                yield net.send_delay(
+                    replica.net_id, self.net_id, cfg.ack_bytes
+                )
             if replica.retired:
                 continue
             replica.acked_lsn = lsn_end
-            self._t_acks.inc()
+            self.acks += 1
             self._fire_acks()
 
     def _apply_loop(self, replica):
@@ -185,12 +236,13 @@ class ReplicaGroup:
         while True:
             if replica.retired:
                 return
-            if not replica.apply_queue:
+            if replica.apply_cursor >= replica.recv_cursor:
                 event = sim.event()
                 replica.apply_wakeup = event
                 yield WaitEvent(event)
                 continue
-            lsn_end, nbytes, origin = replica.apply_queue.popleft()
+            lsn_end, nbytes, origin = self.log[replica.apply_cursor]
+            replica.apply_cursor += 1
             yield from replica.disk.write(nbytes)
             if faults.enabled:
                 stall = faults.replica_apply_stall(sim.now)
@@ -223,7 +275,7 @@ class ReplicaGroup:
         self.ship_lsn += redo_bytes
         target = self.ship_lsn
         self.log.append((target, redo_bytes, sim.now))
-        self._t_shipped.inc(redo_bytes)
+        self.shipped_bytes += redo_bytes
         live = 0
         for replica in self.replicas:
             if not replica.retired:
@@ -234,7 +286,10 @@ class ReplicaGroup:
         if required > 0:
             t0 = sim.now
             while self._acks_at(target) < required:
-                yield WaitEvent(self._ack_event)
+                event = self._ack_event
+                if event is None:
+                    event = self._ack_event = sim.event()
+                yield WaitEvent(event)
             dt = sim.now - t0
             tracer = self.tracer
             if dt > 0.0 and "repl_ack_wait" in tracer.instrumented:
@@ -300,7 +355,7 @@ class ReplicaGroup:
         tail = promotee.received_lsn - promotee.applied_lsn
         if tail > 0:
             yield from promotee.disk.read_sequential(int(tail))
-        promotee.apply_queue.clear()
+        promotee.apply_cursor = promotee.recv_cursor
         promotee.applied_lsn = promotee.received_lsn
         promotee.retired = True
         self._wake(promotee, "ship_wakeup")

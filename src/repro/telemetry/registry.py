@@ -67,9 +67,17 @@ class Gauge:
 
 
 class Histogram:
-    """Moments plus a streaming quantile sketch; no sample retention."""
+    """Moments plus a streaming quantile sketch; no sample retention.
 
-    __slots__ = ("name", "count", "sum", "min", "max", "_sketch")
+    ``observe`` is the registry's hottest method, so it only updates the
+    cheap moments inline and parks the value in a flat pending list; the
+    batch folds into the GK sketch — in arrival order, so sketch state
+    is identical to eager per-value folding — when a quantile or
+    snapshot is asked for.  Anything reaching into ``_sketch`` directly
+    must call :meth:`flush` first.
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max", "_sketch", "_pending")
 
     def __init__(self, name, epsilon=0.01):
         self.name = name
@@ -78,10 +86,13 @@ class Histogram:
         self.min = None
         self.max = None
         self._sketch = GKSketch(epsilon)
+        self._pending = []
 
     def observe(self, value):
         value = float(value)
-        self._sketch.observe(value)  # validates NaN
+        if value != value:
+            raise ValueError("cannot observe NaN")
+        self._pending.append(value)
         self.count += 1
         self.sum += value
         if self.min is None or value < self.min:
@@ -89,11 +100,18 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
 
+    def flush(self):
+        """Fold pending observations into the sketch (arrival order)."""
+        if self._pending:
+            self._sketch.observe_many(self._pending)
+            del self._pending[:]
+
     @property
     def mean(self):
         return self.sum / self.count if self.count else 0.0
 
     def quantile(self, q):
+        self.flush()
         return self._sketch.quantile(q)
 
     def snapshot(self):
@@ -145,6 +163,9 @@ class _NullHistogram:
     def observe(self, value):
         pass
 
+    def flush(self):
+        pass
+
     def quantile(self, q):
         raise ValueError("quantile of disabled histogram")
 
@@ -168,6 +189,7 @@ class MetricsRegistry:
         self._counters = {}
         self._gauges = {}
         self._histograms = {}
+        self._flush_hooks = []
         self.events = EventLog(capacity=event_capacity)
 
     # ------------------------------------------------------------------
@@ -226,11 +248,32 @@ class MetricsRegistry:
         return LabeledRegistry(self, labels)
 
     # ------------------------------------------------------------------
+    # Deferred updates
+    # ------------------------------------------------------------------
+
+    def add_flush_hook(self, hook):
+        """Register ``hook()`` to run on :meth:`flush` (and snapshots).
+
+        Hot call sites may accumulate counts in plain attributes instead
+        of paying a ``Counter.inc`` per event; their hook folds the
+        accumulated total into the instrument.  Counter values are
+        order-independent sums, so deferred folding yields the exact
+        snapshot eager increments would.
+        """
+        self._flush_hooks.append(hook)
+
+    def flush(self):
+        """Drain all deferred instrument state registered via hooks."""
+        for hook in self._flush_hooks:
+            hook()
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
 
     def snapshot(self):
         """Everything measured so far, as plain JSON-serialisable dicts."""
+        self.flush()
         return {
             "counters": {
                 name: c.value for name, c in sorted(self._counters.items())
@@ -315,6 +358,12 @@ class LabeledRegistry:
     def histogram(self, name, epsilon=None):
         return self._base.histogram(name + self._suffix, epsilon)
 
+    def add_flush_hook(self, hook):
+        self._base.add_flush_hook(hook)
+
+    def flush(self):
+        self._base.flush()
+
     def event(self, kind, **fields):
         merged = dict(self.labels)
         merged.update(fields)
@@ -360,6 +409,12 @@ class NullRegistry:
 
     def histogram(self, name, epsilon=None):
         return _NULL_HISTOGRAM
+
+    def add_flush_hook(self, hook):
+        pass
+
+    def flush(self):
+        pass
 
     def event(self, kind, **fields):
         pass

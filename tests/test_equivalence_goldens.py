@@ -81,3 +81,38 @@ def test_zero_cost_instrumentation_is_invisible():
         run_experiment(base.replaced(instrumented=probes, probe_cost=0.0))
     )
     assert fast == traced
+
+
+def test_postgres_zero_cost_instrumentation_is_invisible():
+    """Pins ``_postgres_execute_fast`` against the traced statement loop.
+
+    Instrumenting every Postgres factor with ``probe_cost=0`` forces the
+    full ``_portal_run`` delegation chain; the flattened fast path must
+    produce a byte-identical run.
+    """
+    base = pc.postgres_experiment(seed=7, n_txns=150)
+    probes = (
+        "exec_simple_query", "PortalRun", "ExecutorRun", "index_fetch",
+        "PredicateLockTuple", "heap_lock_tuple", "LockAcquireExtended",
+        "ProcSleep", "CommitTransaction", "RecordTransactionCommit",
+        "XLogFlush", "ReleasePredicateLocks",
+    )
+    fast = run_digest(run_experiment(base))
+    traced = run_digest(
+        run_experiment(base.replaced(instrumented=probes, probe_cost=0.0))
+    )
+    assert fast == traced
+
+
+def test_voltdb_zero_cost_instrumentation_is_invisible():
+    """Pins ``_voltdb_execute_fast`` against the traced partition loop."""
+    base = pc.voltdb_experiment(seed=7, n_txns=150)
+    probes = (
+        "transaction", "execute_procedure", "init_procedure",
+        "run_plan_fragments", "[waiting in queue]",
+    )
+    fast = run_digest(run_experiment(base))
+    traced = run_digest(
+        run_experiment(base.replaced(instrumented=probes, probe_cost=0.0))
+    )
+    assert fast == traced

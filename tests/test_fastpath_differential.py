@@ -1,0 +1,102 @@
+"""Differential testing: engine fast paths vs the traced statement loops.
+
+The Postgres and VoltDB engines each carry two execution paths for one
+transaction body: the flattened single-frame fast generator (used
+whenever no probe is attached) and the traced delegation chain through
+:meth:`Tracer.traced`.  Hypothesis generates random workload programs —
+benchmark, seed, arrival rate, worker count — and runs each one twice:
+once uninstrumented (fast path) and once with every engine factor
+instrumented at ``probe_cost=0`` (traced path).  Zero-cost probes may
+not change anything observable, so the full run digests — latency
+sequence, final clock, metrics snapshot, abort/fault counts — must be
+byte-identical.
+
+This is the engine-level analogue of ``test_kernel_differential``: the
+goldens pin a handful of fixed macro cells, these tests walk the
+configuration space around them.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.digest import run_digest
+from repro.bench.runner import ExperimentConfig, run_experiment
+from repro.engines.postgres import PostgresConfig
+from repro.engines.voltdb import VoltDBConfig
+
+#: Every traced factor in each engine: instrumenting all of them forces
+#: the whole delegation chain on every statement.
+POSTGRES_PROBES = (
+    "exec_simple_query", "PortalRun", "ExecutorRun", "index_fetch",
+    "PredicateLockTuple", "heap_lock_tuple", "LockAcquireExtended",
+    "ProcSleep", "CommitTransaction", "RecordTransactionCommit",
+    "XLogFlush", "ReleasePredicateLocks",
+)
+VOLTDB_PROBES = (
+    "transaction", "execute_procedure", "init_procedure",
+    "run_plan_fragments", "[waiting in queue]",
+)
+
+#: Small benchmarks with different op shapes: TPC-C mixes reads, writes
+#: and explicit lock modes; YCSB is key-value point ops; TATP is short
+#: read-mostly transactions.
+_workloads = st.sampled_from(
+    [
+        ("tpcc", {"warehouses": 2}),
+        ("ycsb", {}),
+        ("tatp", {}),
+    ]
+)
+_seeds = st.integers(min_value=0, max_value=2**16)
+_n_txns = st.integers(min_value=20, max_value=50)
+_rates = st.sampled_from([200.0, 500.0, 2_000.0])
+
+
+def _digests(config, probes):
+    fast = run_digest(run_experiment(config))
+    traced = run_digest(
+        run_experiment(config.replaced(instrumented=probes, probe_cost=0.0))
+    )
+    return fast, traced
+
+
+@settings(max_examples=10, deadline=None)
+@given(workload=_workloads, seed=_seeds, n_txns=_n_txns, rate=_rates)
+def test_postgres_fast_path_matches_traced(workload, seed, n_txns, rate):
+    name, kwargs = workload
+    config = ExperimentConfig(
+        engine="postgres",
+        workload=name,
+        workload_kwargs=kwargs,
+        engine_config=PostgresConfig(n_workers=8),
+        seed=seed,
+        n_txns=n_txns,
+        rate_tps=rate,
+        warmup_fraction=0.0,
+    )
+    fast, traced = _digests(config, POSTGRES_PROBES)
+    assert fast == traced
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    workload=_workloads,
+    seed=_seeds,
+    n_txns=_n_txns,
+    rate=_rates,
+    n_workers=st.integers(min_value=1, max_value=4),
+)
+def test_voltdb_fast_path_matches_traced(workload, seed, n_txns, rate, n_workers):
+    name, kwargs = workload
+    config = ExperimentConfig(
+        engine="voltdb",
+        workload=name,
+        workload_kwargs=kwargs,
+        engine_config=VoltDBConfig(n_workers=n_workers),
+        seed=seed,
+        n_txns=n_txns,
+        rate_tps=rate,
+        warmup_fraction=0.0,
+    )
+    fast, traced = _digests(config, VOLTDB_PROBES)
+    assert fast == traced
